@@ -1,0 +1,251 @@
+//! Shared machinery of the baseline schedulers: priority orders, the
+//! II-escalation driver, and directional (top-down / bottom-up) placement.
+
+use std::time::Instant;
+
+use hrms_ddg::{Ddg, NodeId, TopoLevels};
+use hrms_machine::Machine;
+use hrms_modsched::{
+    MiiInfo, PartialSchedule, SchedError, Schedule, ScheduleOutcome, SchedulerConfig,
+};
+
+/// Direction of a one-pass list scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Schedule sources first, each as soon as possible (Top-Down).
+    TopDown,
+    /// Schedule sinks first, each as late as possible (Bottom-Up).
+    BottomUp,
+}
+
+/// The node order used by the Top-Down scheduler: by increasing depth (the
+/// latency-weighted longest path from any source), breaking ties by larger
+/// height (more critical first) and finally program order. All a node's
+/// intra-iteration predecessors precede it in this order.
+pub fn topdown_order(ddg: &Ddg) -> Vec<NodeId> {
+    let levels = TopoLevels::compute(ddg).unwrap_or_else(|_| {
+        // Invalid (zero-distance-cyclic) graphs are rejected later by the
+        // MII computation; fall back to program order so ordering never
+        // fails.
+        return TopoLevels::compute(&trivial_copy(ddg)).expect("trivial graph is acyclic");
+    });
+    let mut order: Vec<NodeId> = ddg.node_ids().collect();
+    order.sort_by_key(|&n| {
+        (
+            levels.depth(n),
+            std::cmp::Reverse(levels.height(n)),
+            n.index(),
+        )
+    });
+    order
+}
+
+/// The node order used by the Bottom-Up scheduler: by increasing height (the
+/// latency-weighted longest path to any sink), i.e. sinks first, breaking
+/// ties by larger depth and finally program order. All a node's
+/// intra-iteration successors precede it in this order.
+pub fn bottomup_order(ddg: &Ddg) -> Vec<NodeId> {
+    let levels = TopoLevels::compute(ddg).unwrap_or_else(|_| {
+        return TopoLevels::compute(&trivial_copy(ddg)).expect("trivial graph is acyclic");
+    });
+    let mut order: Vec<NodeId> = ddg.node_ids().collect();
+    order.sort_by_key(|&n| {
+        (
+            levels.height(n),
+            std::cmp::Reverse(levels.depth(n)),
+            n.index(),
+        )
+    });
+    order
+}
+
+/// A copy of `ddg` with every edge removed — used only as a fallback when the
+/// level computation rejects an invalid graph (those graphs are rejected by
+/// the MII computation before scheduling anyway).
+fn trivial_copy(ddg: &Ddg) -> Ddg {
+    let mut b = hrms_ddg::DdgBuilder::new(ddg.name());
+    for (_, n) in ddg.nodes() {
+        b.node(n.name(), n.kind(), n.latency());
+    }
+    b.build().expect("node-only copy of a valid graph")
+}
+
+/// One pass of directional list scheduling at a fixed II.
+///
+/// Top-Down places every node as soon as possible after its already-placed
+/// predecessors (and never later than any already-placed successor allows);
+/// Bottom-Up is the mirror image. Returns `None` when some node finds no
+/// free slot, in which case the caller escalates the II.
+pub fn schedule_directional_at_ii(
+    ddg: &Ddg,
+    machine: &Machine,
+    order: &[NodeId],
+    ii: u32,
+    direction: Direction,
+) -> Option<Schedule> {
+    let mut partial = PartialSchedule::new(machine, ii);
+    for &u in order {
+        let early = partial.early_start(ddg, u);
+        let late = partial.late_start(ddg, u);
+        let placed = match direction {
+            Direction::TopDown => {
+                let from = early.unwrap_or(0);
+                match late {
+                    None => partial.place_forward(ddg, machine, u, from, ii),
+                    Some(l) if l < from => None,
+                    Some(l) => {
+                        let window = (l - from + 1).min(i64::from(ii)) as u32;
+                        partial.place_forward(ddg, machine, u, from, window)
+                    }
+                }
+            }
+            Direction::BottomUp => {
+                let from = late.unwrap_or(0);
+                match early {
+                    None => partial.place_backward(ddg, machine, u, from, ii),
+                    Some(e) if e > from => None,
+                    Some(e) => {
+                        let window = (from - e + 1).min(i64::from(ii)) as u32;
+                        partial.place_backward(ddg, machine, u, from, window)
+                    }
+                }
+            }
+        };
+        if placed.is_none() {
+            return None;
+        }
+    }
+    Some(partial.into_schedule(ddg))
+}
+
+/// The II-escalation driver shared by every baseline: computes the MII, then
+/// tries `attempt(ii)` for II = MII, MII+1, ... up to the configured cap.
+pub fn escalate_ii<F>(
+    ddg: &Ddg,
+    machine: &Machine,
+    config: &SchedulerConfig,
+    mut attempt: F,
+) -> Result<ScheduleOutcome, SchedError>
+where
+    F: FnMut(u32, MiiInfo) -> Option<Schedule>,
+{
+    let start = Instant::now();
+    let mii = MiiInfo::compute(ddg, machine)?;
+    let max_ii = config.effective_max_ii(ddg, mii.mii());
+    if max_ii < mii.mii() {
+        return Err(SchedError::NoValidSchedule { max_ii_tried: max_ii });
+    }
+    let mut attempts = 0;
+    let mut ii = mii.mii();
+    loop {
+        attempts += 1;
+        if let Some(schedule) = attempt(ii, mii) {
+            return Ok(ScheduleOutcome::new(
+                ddg,
+                schedule,
+                mii,
+                attempts,
+                start.elapsed(),
+                std::time::Duration::ZERO,
+            ));
+        }
+        if ii >= max_ii {
+            return Err(SchedError::NoValidSchedule { max_ii_tried: ii });
+        }
+        ii += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+    use hrms_machine::presets;
+    use hrms_modsched::validate_schedule;
+
+    fn diamond() -> Ddg {
+        let mut b = DdgBuilder::new("diamond");
+        let a = b.node("a", OpKind::Load, 2);
+        let x = b.node("x", OpKind::FpMul, 2);
+        let y = b.node("y", OpKind::FpAdd, 1);
+        let d = b.node("d", OpKind::Store, 1);
+        b.edge(a, x, DepKind::RegFlow, 0).unwrap();
+        b.edge(a, y, DepKind::RegFlow, 0).unwrap();
+        b.edge(x, d, DepKind::RegFlow, 0).unwrap();
+        b.edge(y, d, DepKind::RegFlow, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topdown_order_puts_sources_first() {
+        let g = diamond();
+        let order = topdown_order(&g);
+        assert_eq!(order[0], NodeId(0));
+        assert_eq!(order[3], NodeId(3));
+        // x is on the longer path (latency 2 vs 1) so it precedes y.
+        assert_eq!(order[1], NodeId(1));
+    }
+
+    #[test]
+    fn bottomup_order_puts_sinks_first() {
+        let g = diamond();
+        let order = bottomup_order(&g);
+        assert_eq!(order[0], NodeId(3));
+        assert_eq!(order[3], NodeId(0));
+    }
+
+    #[test]
+    fn orders_cover_every_node_once() {
+        let g = diamond();
+        for order in [topdown_order(&g), bottomup_order(&g)] {
+            let mut o = order.clone();
+            o.sort();
+            o.dedup();
+            assert_eq!(o.len(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn directional_schedules_are_valid() {
+        let g = diamond();
+        let m = presets::govindarajan();
+        for (order, dir) in [
+            (topdown_order(&g), Direction::TopDown),
+            (bottomup_order(&g), Direction::BottomUp),
+        ] {
+            let s = schedule_directional_at_ii(&g, &m, &order, 2, dir).unwrap();
+            validate_schedule(&g, &m, &s).unwrap();
+        }
+    }
+
+    #[test]
+    fn escalation_stops_at_the_cap() {
+        let g = diamond();
+        let m = presets::govindarajan();
+        let config = SchedulerConfig {
+            max_ii: Some(3),
+            ..SchedulerConfig::default()
+        };
+        // An attempt that always fails must exhaust the cap.
+        let err = escalate_ii(&g, &m, &config, |_, _| None).unwrap_err();
+        assert_eq!(err, SchedError::NoValidSchedule { max_ii_tried: 3 });
+    }
+
+    #[test]
+    fn escalation_reports_attempts() {
+        let g = diamond();
+        let m = presets::govindarajan();
+        let config = SchedulerConfig::default();
+        let order = topdown_order(&g);
+        let outcome = escalate_ii(&g, &m, &config, |ii, _| {
+            if ii < 4 {
+                None
+            } else {
+                schedule_directional_at_ii(&g, &m, &order, ii, Direction::TopDown)
+            }
+        })
+        .unwrap();
+        assert_eq!(outcome.metrics.ii, 4);
+        assert_eq!(outcome.attempts, 3, "II 2 and 3 failed, 4 succeeded");
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the design-choice ablations: what the
+//! pre-ordering phase costs (and buys) relative to program-order scheduling,
+//! and whether the initial hypernode choice matters for speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hrms_core::{HrmsOptions, HrmsScheduler, OrderingMode, PreOrderOptions, StartNodePolicy};
+use hrms_machine::presets;
+use hrms_modsched::ModuloScheduler;
+use hrms_workloads::synthetic;
+
+fn bench_ordering_modes(c: &mut Criterion) {
+    let machine = presets::perfect_club();
+    let loops = synthetic::perfect_club_like_sized(32);
+    let variants = [
+        ("hypernode_reduction", HrmsOptions::default()),
+        (
+            "program_order",
+            HrmsOptions {
+                ordering: OrderingMode::ProgramOrder,
+                ..HrmsOptions::default()
+            },
+        ),
+        (
+            "last_node_start",
+            HrmsOptions {
+                preorder: PreOrderOptions {
+                    start_node: StartNodePolicy::LastInProgramOrder,
+                },
+                ..HrmsOptions::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ordering_ablation");
+    group.sample_size(10);
+    for (name, options) in variants {
+        let scheduler = HrmsScheduler::with_options(options);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for ddg in &loops {
+                    scheduler.schedule_loop(ddg, &machine).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering_modes);
+criterion_main!(benches);

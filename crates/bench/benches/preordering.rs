@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the pre-ordering phase alone — backing the
+//! Section 4.2 claim that ordering is a small fraction of the scheduling
+//! time and scales well with loop size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrms_core::pre_order;
+use hrms_workloads::{motivating, GeneratorConfig, LoopGenerator};
+
+fn bench_preorder_paper_examples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preorder_paper_examples");
+    for ddg in motivating::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(ddg.name()), &ddg, |b, ddg| {
+            b.iter(|| pre_order(std::hint::black_box(ddg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preorder_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preorder_scaling");
+    for size in [16usize, 32, 64, 128] {
+        let config = GeneratorConfig {
+            min_ops: size,
+            mean_ops: size as f64,
+            max_ops: size,
+            ..GeneratorConfig::default()
+        };
+        let ddg = LoopGenerator::new(7, config).next_loop();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &ddg, |b, ddg| {
+            b.iter(|| pre_order(std::hint::black_box(ddg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preorder_paper_examples, bench_preorder_scaling);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Ablation of the pre-ordering phase: HRMS vs the same bidirectional
+//! scheduling step driven by plain program order.
+//!
+//! Usage: `cargo run --release -p hrms-bench --bin ablation_no_preorder [num_loops]`
+
+fn main() {
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let loops = hrms_workloads::synthetic::perfect_club_like_sized(count);
+    let machine = hrms_machine::presets::perfect_club();
+    let (hrms, program) = hrms_bench::ablation::preorder_ablation(&loops, &machine);
+    println!("Ablation — hypernode pre-ordering vs program order ({count} loops)\n");
+    println!(
+        "{}",
+        hrms_bench::ablation::render_pair("hypernode reduction", &hrms, "program order", &program)
+    );
+}

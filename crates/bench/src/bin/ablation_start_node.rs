@@ -1,0 +1,20 @@
+//! Ablation of the initial-hypernode choice (paper footnote 1): the ordering
+//! should produce roughly the same register requirements whatever the
+//! starting node.
+//!
+//! Usage: `cargo run --release -p hrms-bench --bin ablation_start_node [num_loops]`
+
+fn main() {
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let loops = hrms_workloads::synthetic::perfect_club_like_sized(count);
+    let machine = hrms_machine::presets::perfect_club();
+    let (first, last) = hrms_bench::ablation::start_node_ablation(&loops, &machine);
+    println!("Ablation — initial hypernode choice ({count} loops)\n");
+    println!(
+        "{}",
+        hrms_bench::ablation::render_pair("first-node start", &first, "last-node start", &last)
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 11: static cumulative distribution of the register
+//! requirements of loop variants, HRMS vs Top-Down.
+//!
+//! Usage: `cargo run --release -p hrms-bench --bin fig11 [num_loops]`
+
+use hrms_bench::figures::{register_figure, FigureKind};
+
+fn main() {
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(hrms_workloads::synthetic::PERFECT_CLUB_LOOP_COUNT);
+    let loops = hrms_workloads::synthetic::perfect_club_like_sized(count);
+    let fig = register_figure(&loops, FigureKind::Fig11StaticVariants);
+    println!("Figure 11 — static cumulative register requirements of loop variants ({count} loops)\n");
+    println!("{}", fig.render());
+    println!("(paper: on average HRMS needs 87% of the registers of the Top-Down scheduler)");
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 12: dynamic (execution-time weighted) cumulative
+//! distribution of the register requirements of loop variants.
+//!
+//! Usage: `cargo run --release -p hrms-bench --bin fig12 [num_loops]`
+
+use hrms_bench::figures::{register_figure, FigureKind};
+
+fn main() {
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(hrms_workloads::synthetic::PERFECT_CLUB_LOOP_COUNT);
+    let loops = hrms_workloads::synthetic::perfect_club_like_sized(count);
+    let fig = register_figure(&loops, FigureKind::Fig12DynamicVariants);
+    println!("Figure 12 — dynamic cumulative register requirements of loop variants ({count} loops)\n");
+    println!("{}", fig.render());
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 14: total cycles needed to execute the loop suite with
+//! unlimited, 64 and 32 registers (spill code and re-scheduling when a loop
+//! exceeds the budget), HRMS vs Top-Down.
+//!
+//! Usage: `cargo run --release -p hrms-bench --bin fig14 [num_loops]`
+
+fn main() {
+    // Spilling re-schedules loops repeatedly, so the default loop count is
+    // reduced; pass an explicit count (e.g. 1258) for the full run.
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let loops = hrms_workloads::synthetic::perfect_club_like_sized(count);
+    let points = hrms_bench::figures::figure14(&loops, &[None, Some(64), Some(32)]);
+    println!("Figure 14 — execution cycles with unlimited / 64 / 32 registers ({count} loops)\n");
+    println!("{}", hrms_bench::figures::render_figure14(&points));
+    println!("(paper: HRMS ≈43% faster with 64 registers and ≈21% faster with 32 registers;");
+    println!(" HRMS at 32 registers runs about as fast as Top-Down at 64)");
+}

@@ -1,0 +1,15 @@
+//! Regenerates the motivating-example comparison of Section 2 (Figures 2, 3
+//! and 4): top-down, bottom-up and HRMS schedules, kernels and register
+//! requirements for the Figure 1 dependence graph.
+//!
+//! Usage: `cargo run --release -p hrms-bench --bin fig2_4`
+
+fn main() {
+    let result = hrms_bench::figures::motivating_example();
+    println!("Figures 2–4 — motivating example (4 general-purpose units, latency 2)\n");
+    println!("{}", result.report);
+    println!(
+        "registers: Top-Down {}, Bottom-Up {}, HRMS {}   (paper: 8 / 7 / 6)",
+        result.topdown_registers, result.bottomup_registers, result.hrms_registers
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table 1 of the paper: II, buffers and scheduling time of
+//! HRMS, the SPILP stand-in, Slack and FRLC on the 24-loop reference suite.
+//!
+//! Usage: `cargo run --release -p hrms-bench --bin table1 [bb_budget]`
+
+fn main() {
+    let bb_budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let table = hrms_bench::tables::run_table1(&hrms_workloads::reference24::all(), bb_budget);
+    println!("Table 1 — 24-loop reference suite on the 4-FU machine");
+    println!("(SPILP* = branch-and-bound stand-in, budget {bb_budget} placements per II)\n");
+    println!("{}", table.render());
+    let totals = table.totals();
+    println!(
+        "scheduling time: HRMS {:.3}s, SPILP* {:.3}s, Slack {:.3}s, FRLC {:.3}s",
+        totals.hrms.as_secs_f64(),
+        totals.spilp.as_secs_f64(),
+        totals.slack.as_secs_f64(),
+        totals.frlc.as_secs_f64()
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 2 of the paper: for how many loops HRMS obtains a
+//! better / equal / worse II (and buffers, at equal II) than SPILP, Slack
+//! and FRLC.
+//!
+//! Usage: `cargo run --release -p hrms-bench --bin table2 [bb_budget]`
+
+fn main() {
+    let bb_budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let table = hrms_bench::tables::run_table1(&hrms_workloads::reference24::all(), bb_budget);
+    println!("Table 2 — HRMS vs the other methods (24 loops)\n");
+    println!("{}", table.summarize().render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 3 of the paper: total scheduling time of the four
+//! methods over the 24-loop suite.
+//!
+//! Usage: `cargo run --release -p hrms-bench --bin table3 [bb_budget]`
+
+fn main() {
+    let bb_budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let table = hrms_bench::tables::run_table1(&hrms_workloads::reference24::all(), bb_budget);
+    println!("Table 3 — total scheduling time (24 loops)\n");
+    println!("{}", table.totals().render());
+}

@@ -1,0 +1,316 @@
+//! Figures 2–4 (motivating example) and 11–14 (register requirements and
+//! performance under register budgets) of the paper.
+
+use hrms_baselines::TopDownScheduler;
+use hrms_core::HrmsScheduler;
+use hrms_ddg::Ddg;
+use hrms_machine::presets;
+use hrms_modsched::{LifetimeAnalysis, ModuloScheduler};
+use hrms_regalloc::{
+    schedule_with_register_budget, CumulativeDistribution, PressureKind, SpillConfig,
+};
+use hrms_workloads::motivating;
+
+use crate::must_schedule;
+
+/// The Section 2.1 comparison (Figures 2, 3 and 4): register requirements of
+/// the motivating example under the three schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotivatingExample {
+    /// Registers needed by the Top-Down schedule (paper: 8).
+    pub topdown_registers: u64,
+    /// Registers needed by the Bottom-Up schedule (paper: 7).
+    pub bottomup_registers: u64,
+    /// Registers needed by the HRMS schedule (paper: 6).
+    pub hrms_registers: u64,
+    /// Rendered per-scheduler schedules and kernels.
+    pub report: String,
+}
+
+/// Reproduces Figures 2–4.
+pub fn motivating_example() -> MotivatingExample {
+    let ddg = motivating::figure1();
+    let machine = presets::general_purpose();
+    let schedulers: Vec<Box<dyn ModuloScheduler>> = vec![
+        Box::new(TopDownScheduler::new()),
+        Box::new(hrms_baselines::BottomUpScheduler::new()),
+        Box::new(HrmsScheduler::new()),
+    ];
+    let mut registers = Vec::new();
+    let mut report = String::new();
+    for s in &schedulers {
+        let outcome = must_schedule(s.as_ref(), &ddg, &machine);
+        let lt = LifetimeAnalysis::analyze(&ddg, &outcome.schedule);
+        registers.push(lt.max_live());
+        report.push_str(&format!(
+            "== {} (II = {}) ==\none-iteration schedule:\n{}\nkernel:\n{}\nregisters (MaxLive): {}\n\n",
+            s.name(),
+            outcome.metrics.ii,
+            outcome.schedule.render(&ddg),
+            outcome.schedule.kernel().render(&ddg),
+            lt.max_live(),
+        ));
+    }
+    MotivatingExample {
+        topdown_registers: registers[0],
+        bottomup_registers: registers[1],
+        hrms_registers: registers[2],
+        report,
+    }
+}
+
+/// Which figure a register-requirement distribution corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureKind {
+    /// Figure 11: static (per-loop) distribution, loop variants only.
+    Fig11StaticVariants,
+    /// Figure 12: dynamic (execution-time weighted), loop variants only.
+    Fig12DynamicVariants,
+    /// Figure 13: dynamic, variants plus invariants.
+    Fig13DynamicCombined,
+}
+
+/// The cumulative register-requirement curves of one scheduler pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterFigure {
+    /// Which figure this is.
+    pub kind: FigureKind,
+    /// HRMS distribution.
+    pub hrms: CumulativeDistribution,
+    /// Top-Down distribution.
+    pub topdown: CumulativeDistribution,
+}
+
+impl RegisterFigure {
+    /// Mean register requirement of HRMS divided by Top-Down's (the paper
+    /// reports ≈ 0.87 for Figure 11).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.topdown.mean() == 0.0 {
+            1.0
+        } else {
+            self.hrms.mean() / self.topdown.mean()
+        }
+    }
+
+    /// Renders both cumulative curves at a fixed set of register counts.
+    pub fn render(&self) -> String {
+        let points = [4u64, 8, 12, 16, 24, 32, 48, 64, 96, 128];
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|&r| {
+                vec![
+                    r.to_string(),
+                    format!("{:.3}", self.hrms.fraction_at_or_below(r)),
+                    format!("{:.3}", self.topdown.fraction_at_or_below(r)),
+                ]
+            })
+            .collect();
+        format!(
+            "{}\nmean registers: HRMS {:.2}, Top-Down {:.2} (ratio {:.3})\n",
+            crate::render_table(&["registers", "HRMS cum.", "Top-Down cum."], &rows),
+            self.hrms.mean(),
+            self.topdown.mean(),
+            self.mean_ratio()
+        )
+    }
+}
+
+/// Schedules every loop of `loops` with HRMS and Top-Down on the Section 4.2
+/// machine and builds the requested register-requirement distribution.
+pub fn register_figure(loops: &[Ddg], kind: FigureKind) -> RegisterFigure {
+    let machine = presets::perfect_club();
+    let hrms = HrmsScheduler::new();
+    let topdown = TopDownScheduler::new();
+    let mut hrms_samples = Vec::new();
+    let mut td_samples = Vec::new();
+    for ddg in loops {
+        let weight = match kind {
+            FigureKind::Fig11StaticVariants => 1.0,
+            FigureKind::Fig12DynamicVariants | FigureKind::Fig13DynamicCombined => {
+                ddg.iteration_count() as f64
+            }
+        };
+        for (scheduler, samples) in [
+            (&hrms as &dyn ModuloScheduler, &mut hrms_samples),
+            (&topdown as &dyn ModuloScheduler, &mut td_samples),
+        ] {
+            let outcome = must_schedule(scheduler, ddg, &machine);
+            let lt = LifetimeAnalysis::analyze(ddg, &outcome.schedule);
+            let regs = match kind {
+                FigureKind::Fig13DynamicCombined => lt.max_live_with_invariants(),
+                _ => lt.max_live(),
+            };
+            // Dynamic figures weight by execution time (II × iterations).
+            let w = match kind {
+                FigureKind::Fig11StaticVariants => weight,
+                _ => weight * f64::from(outcome.metrics.ii),
+            };
+            samples.push((regs, w));
+        }
+    }
+    RegisterFigure {
+        kind,
+        hrms: CumulativeDistribution::from_samples(hrms_samples),
+        topdown: CumulativeDistribution::from_samples(td_samples),
+    }
+}
+
+/// One bar group of Figure 14: total execution cycles with a given number of
+/// available registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig14Point {
+    /// Register budget (`None` = unlimited).
+    pub registers: Option<u64>,
+    /// Total cycles over the whole suite for HRMS.
+    pub hrms_cycles: u64,
+    /// Total cycles for Top-Down.
+    pub topdown_cycles: u64,
+    /// Number of loops that needed spill code under HRMS.
+    pub hrms_spilled_loops: usize,
+    /// Number of loops that needed spill code under Top-Down.
+    pub topdown_spilled_loops: usize,
+}
+
+impl Fig14Point {
+    /// Speedup of HRMS over Top-Down at this register budget.
+    pub fn speedup(&self) -> f64 {
+        self.topdown_cycles as f64 / self.hrms_cycles.max(1) as f64
+    }
+}
+
+/// Figure 14: execution time of the whole suite with unlimited, 64 and 32
+/// registers (loop variants plus invariants; spill code and re-scheduling
+/// when over budget).
+pub fn figure14(loops: &[Ddg], budgets: &[Option<u64>]) -> Vec<Fig14Point> {
+    let machine = presets::perfect_club();
+    let hrms = HrmsScheduler::new();
+    let topdown = TopDownScheduler::new();
+    budgets
+        .iter()
+        .map(|&budget| {
+            let mut point = Fig14Point {
+                registers: budget,
+                hrms_cycles: 0,
+                topdown_cycles: 0,
+                hrms_spilled_loops: 0,
+                topdown_spilled_loops: 0,
+            };
+            for ddg in loops {
+                for (scheduler, cycles, spilled) in [
+                    (
+                        &hrms as &dyn ModuloScheduler,
+                        &mut point.hrms_cycles,
+                        &mut point.hrms_spilled_loops,
+                    ),
+                    (
+                        &topdown as &dyn ModuloScheduler,
+                        &mut point.topdown_cycles,
+                        &mut point.topdown_spilled_loops,
+                    ),
+                ] {
+                    let (ii, did_spill) = match budget {
+                        None => (must_schedule(scheduler, ddg, &machine).metrics.ii, false),
+                        Some(regs) => {
+                            let result = schedule_with_register_budget(
+                                ddg,
+                                &machine,
+                                scheduler,
+                                &SpillConfig {
+                                    registers: regs,
+                                    kind: PressureKind::VariantsAndInvariants,
+                                    max_rounds: 32,
+                                },
+                            )
+                            .unwrap_or_else(|e| {
+                                panic!("spill scheduling failed on `{}`: {e}", ddg.name())
+                            });
+                            (result.outcome.metrics.ii, result.spilled_values > 0)
+                        }
+                    };
+                    *cycles += u64::from(ii) * ddg.iteration_count();
+                    if did_spill {
+                        *spilled += 1;
+                    }
+                }
+            }
+            point
+        })
+        .collect()
+}
+
+/// Renders the Figure 14 points.
+pub fn render_figure14(points: &[Fig14Point]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.registers
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "inf".to_string()),
+                p.hrms_cycles.to_string(),
+                p.topdown_cycles.to_string(),
+                format!("{:.3}", p.speedup()),
+                p.hrms_spilled_loops.to_string(),
+                p.topdown_spilled_loops.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "registers",
+            "HRMS cycles",
+            "Top-Down cycles",
+            "HRMS speedup",
+            "HRMS spilled loops",
+            "TD spilled loops",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_workloads::synthetic::perfect_club_like_sized;
+
+    #[test]
+    fn motivating_example_matches_the_paper_ordering() {
+        let m = motivating_example();
+        assert_eq!(m.hrms_registers, 6, "paper: HRMS needs 6 registers");
+        assert!(m.topdown_registers > m.hrms_registers);
+        assert!(m.bottomup_registers >= m.hrms_registers);
+        assert!(m.report.contains("HRMS"));
+        assert!(m.report.contains("Top-Down"));
+    }
+
+    #[test]
+    fn register_figures_show_hrms_needing_fewer_registers() {
+        let loops = perfect_club_like_sized(40);
+        for kind in [
+            FigureKind::Fig11StaticVariants,
+            FigureKind::Fig12DynamicVariants,
+            FigureKind::Fig13DynamicCombined,
+        ] {
+            let fig = register_figure(&loops, kind);
+            assert!(
+                fig.mean_ratio() <= 1.02,
+                "{kind:?}: HRMS should not need more registers on average (ratio {})",
+                fig.mean_ratio()
+            );
+            assert!(!fig.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn figure14_speedup_does_not_decrease_when_registers_shrink() {
+        let loops = perfect_club_like_sized(25);
+        let points = figure14(&loops, &[None, Some(64), Some(32)]);
+        assert_eq!(points.len(), 3);
+        // With unlimited registers both schedulers achieve (nearly) the same
+        // cycles; with fewer registers HRMS's advantage can only grow.
+        let unlimited = points[0].speedup();
+        let r32 = points[2].speedup();
+        assert!(r32 + 1e-9 >= unlimited, "speedup {unlimited} -> {r32}");
+        assert!(render_figure14(&points).contains("inf"));
+    }
+}

@@ -1,0 +1,572 @@
+//! Enumeration of recurrence circuits and their grouping into recurrence
+//! subgraphs.
+//!
+//! The pre-ordering phase of HRMS (Section 3.2 of the paper) needs, for each
+//! loop:
+//!
+//! 1. every *elementary recurrence circuit* (a simple cycle in the dependence
+//!    graph),
+//! 2. those circuits grouped into *recurrence subgraphs*: circuits that share
+//!    the same set of backward (loop-carried) edges belong to the same
+//!    subgraph, circuits with different backward-edge sets are distinct
+//!    subgraphs even when they share nodes (paper Figure 8),
+//! 3. the `RecMII` of each circuit/subgraph so that subgraphs can be ordered
+//!    by decreasing criticality, and
+//! 4. a *simplified* list where each node appears in exactly one subgraph
+//!    (it stays in the most restrictive one).
+//!
+//! Circuits are enumerated with Johnson's algorithm restricted to each
+//! strongly connected component; an enumeration budget protects against
+//! pathological graphs (the information is then marked as truncated and
+//! callers fall back to SCC-based handling).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::edge::EdgeId;
+use crate::graph::Ddg;
+use crate::node::NodeId;
+use crate::scc;
+
+/// One elementary recurrence circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    /// The nodes of the circuit in traversal order (the first node is the
+    /// smallest id of the circuit).
+    pub nodes: Vec<NodeId>,
+    /// The loop-carried ("backward") edges of the circuit.
+    pub backward_edges: BTreeSet<EdgeId>,
+    /// Sum of node latencies around the circuit.
+    pub total_latency: u64,
+    /// Sum of dependence distances around the circuit (`Ω` in the paper's
+    /// notation); always ≥ 1 for a well-formed loop body.
+    pub total_distance: u64,
+}
+
+impl Circuit {
+    /// The lower bound this circuit imposes on the initiation interval:
+    /// `ceil(total_latency / total_distance)`.
+    ///
+    /// Returns `u64::MAX` for a malformed circuit of distance 0 (such a loop
+    /// body is rejected by the MII computation with a proper error).
+    pub fn rec_mii(&self) -> u64 {
+        if self.total_distance == 0 {
+            u64::MAX
+        } else {
+            self.total_latency.div_ceil(self.total_distance)
+        }
+    }
+
+    /// Whether this is a trivial circuit (a dependence from an operation to
+    /// itself). Trivial circuits constrain the II but not the pre-ordering.
+    pub fn is_trivial(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+/// A set of recurrence circuits sharing the same backward edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecurrenceSubgraph {
+    /// Union of the nodes of the member circuits, sorted.
+    pub nodes: Vec<NodeId>,
+    /// The shared backward-edge set.
+    pub backward_edges: BTreeSet<EdgeId>,
+    /// Indices into [`RecurrenceInfo::circuits`] of the member circuits.
+    pub circuit_indices: Vec<usize>,
+    /// Most restrictive `RecMII` among the member circuits.
+    pub rec_mii: u64,
+}
+
+impl RecurrenceSubgraph {
+    /// Whether the subgraph consists solely of trivial (self-loop) circuits.
+    pub fn is_trivial(&self) -> bool {
+        self.nodes.len() == 1 && self.backward_edges.iter().count() >= 1
+    }
+}
+
+/// The complete recurrence analysis of a dependence graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecurrenceInfo {
+    /// Every elementary circuit found (possibly truncated, see
+    /// [`RecurrenceInfo::truncated`]).
+    pub circuits: Vec<Circuit>,
+    /// Recurrence subgraphs sorted by decreasing `RecMII` (most restrictive
+    /// first), ties broken by smallest member node id.
+    pub subgraphs: Vec<RecurrenceSubgraph>,
+    /// Whether the enumeration budget was exhausted; if so `circuits` is a
+    /// subset and the derived `RecMII` is only a lower bound.
+    pub truncated: bool,
+}
+
+impl RecurrenceInfo {
+    /// Analyses `ddg` with the default enumeration budget.
+    pub fn analyze(ddg: &Ddg) -> Self {
+        Self::analyze_with_budget(ddg, DEFAULT_CIRCUIT_BUDGET)
+    }
+
+    /// Analyses `ddg`, enumerating at most `budget` circuits.
+    pub fn analyze_with_budget(ddg: &Ddg, budget: usize) -> Self {
+        let (circuits, truncated) = enumerate_circuits(ddg, budget);
+        let subgraphs = group_into_subgraphs(&circuits);
+        RecurrenceInfo {
+            circuits,
+            subgraphs,
+            truncated,
+        }
+    }
+
+    /// Lower bound on the initiation interval imposed by the enumerated
+    /// circuits (the paper's `RecMII`); 0 when the graph has no recurrence.
+    pub fn rec_mii_lower_bound(&self) -> u64 {
+        self.circuits.iter().map(Circuit::rec_mii).max().unwrap_or(0)
+    }
+
+    /// Whether the graph has any recurrence circuit at all.
+    pub fn has_recurrence(&self) -> bool {
+        !self.circuits.is_empty()
+    }
+
+    /// The simplified per-subgraph node lists used by the ordering phase:
+    /// subgraphs in decreasing `RecMII` order, each node appearing only in
+    /// the first (most restrictive) subgraph that contains it, and subgraphs
+    /// reduced to trivial self-loops dropped entirely (they impose no
+    /// ordering constraint).
+    pub fn simplified_node_lists(&self) -> Vec<Vec<NodeId>> {
+        let mut claimed: HashSet<NodeId> = HashSet::new();
+        let mut lists = Vec::new();
+        for sg in &self.subgraphs {
+            if sg.nodes.len() == 1 {
+                // Trivial recurrence circuits do not affect the pre-ordering
+                // (paper, Section 3.2).
+                continue;
+            }
+            let fresh: Vec<NodeId> = sg
+                .nodes
+                .iter()
+                .copied()
+                .filter(|n| !claimed.contains(n))
+                .collect();
+            if fresh.is_empty() {
+                continue;
+            }
+            for &n in &fresh {
+                claimed.insert(n);
+            }
+            lists.push(fresh);
+        }
+        lists
+    }
+}
+
+/// Default number of circuits enumerated before giving up.
+pub const DEFAULT_CIRCUIT_BUDGET: usize = 50_000;
+
+/// Enumerates the elementary circuits of `ddg` (self-loops included),
+/// stopping after `budget` circuits.
+///
+/// Returns the circuits and whether the budget was hit.
+pub fn enumerate_circuits(ddg: &Ddg, budget: usize) -> (Vec<Circuit>, bool) {
+    let mut circuits = Vec::new();
+    let mut truncated = false;
+
+    // Self-loops are trivial circuits; enumerate them directly.
+    for (eid, e) in ddg.edges() {
+        if e.is_self_loop() {
+            let mut backward = BTreeSet::new();
+            if e.distance() > 0 {
+                backward.insert(eid);
+            }
+            circuits.push(Circuit {
+                nodes: vec![e.source()],
+                backward_edges: backward,
+                total_latency: u64::from(ddg.node(e.source()).latency()),
+                total_distance: u64::from(e.distance()),
+            });
+        }
+    }
+
+    // Johnson's algorithm restricted to each non-trivial SCC.
+    for component in scc::strongly_connected_components(ddg) {
+        if component.len() < 2 {
+            continue;
+        }
+        if !johnson_on_component(ddg, &component, budget, &mut circuits) {
+            truncated = true;
+        }
+        if circuits.len() >= budget {
+            truncated = true;
+            break;
+        }
+    }
+
+    (circuits, truncated)
+}
+
+/// Johnson's elementary-circuit search inside one SCC. Returns `false` if the
+/// budget was exhausted.
+fn johnson_on_component(
+    ddg: &Ddg,
+    component: &[NodeId],
+    budget: usize,
+    circuits: &mut Vec<Circuit>,
+) -> bool {
+    let members: HashSet<NodeId> = component.iter().copied().collect();
+    // Adjacency restricted to the component, skipping self loops (already
+    // handled); parallel edges are collapsed keeping the minimum distance
+    // (the binding choice for RecMII, since node latencies are fixed).
+    let mut adj: HashMap<NodeId, Vec<(NodeId, EdgeId, u32)>> = HashMap::new();
+    for &v in component {
+        let mut best: HashMap<NodeId, (EdgeId, u32)> = HashMap::new();
+        for (eid, e) in ddg.out_edges(v) {
+            let t = e.target();
+            if t == v || !members.contains(&t) {
+                continue;
+            }
+            match best.get(&t) {
+                Some(&(_, d)) if d <= e.distance() => {}
+                _ => {
+                    best.insert(t, (eid, e.distance()));
+                }
+            }
+        }
+        let mut list: Vec<(NodeId, EdgeId, u32)> =
+            best.into_iter().map(|(t, (eid, d))| (t, eid, d)).collect();
+        list.sort();
+        adj.insert(v, list);
+    }
+
+    let mut sorted = component.to_vec();
+    sorted.sort();
+
+    for (k, &start) in sorted.iter().enumerate() {
+        if circuits.len() >= budget {
+            return false;
+        }
+        let allowed: HashSet<NodeId> = sorted[k..].iter().copied().collect();
+        let mut blocked: HashSet<NodeId> = HashSet::new();
+        let mut block_map: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+        let mut path: Vec<(NodeId, Option<(EdgeId, u32)>)> = Vec::new();
+        circuit_dfs(
+            ddg,
+            &adj,
+            start,
+            start,
+            None,
+            &allowed,
+            &mut blocked,
+            &mut block_map,
+            &mut path,
+            circuits,
+            budget,
+        );
+    }
+    circuits.len() < budget
+}
+
+/// One invocation of Johnson's `CIRCUIT(v)` procedure. `via` is the edge used
+/// to reach `v` from its predecessor on the current path (`None` for the
+/// start node). Returns whether any elementary circuit was closed in the
+/// subtree rooted at `v` (used for the unblocking rule).
+#[allow(clippy::too_many_arguments)]
+fn circuit_dfs(
+    ddg: &Ddg,
+    adj: &HashMap<NodeId, Vec<(NodeId, EdgeId, u32)>>,
+    start: NodeId,
+    v: NodeId,
+    via: Option<(EdgeId, u32)>,
+    allowed: &HashSet<NodeId>,
+    blocked: &mut HashSet<NodeId>,
+    block_map: &mut HashMap<NodeId, HashSet<NodeId>>,
+    path: &mut Vec<(NodeId, Option<(EdgeId, u32)>)>,
+    circuits: &mut Vec<Circuit>,
+    budget: usize,
+) -> bool {
+    let mut found = false;
+    path.push((v, via));
+    blocked.insert(v);
+
+    let neighbours = adj.get(&v).cloned().unwrap_or_default();
+    for (w, eid, dist) in neighbours {
+        if !allowed.contains(&w) || circuits.len() >= budget {
+            continue;
+        }
+        if w == start {
+            // Found an elementary circuit: the nodes on `path`, closed by
+            // the edge (v -> start).
+            let mut nodes = Vec::with_capacity(path.len());
+            let mut backward = BTreeSet::new();
+            let mut total_latency = 0u64;
+            let mut total_distance = u64::from(dist);
+            if dist > 0 {
+                backward.insert(eid);
+            }
+            for (node, step) in path.iter() {
+                nodes.push(*node);
+                total_latency += u64::from(ddg.node(*node).latency());
+                if let Some((step_eid, step_dist)) = step {
+                    total_distance += u64::from(*step_dist);
+                    if *step_dist > 0 {
+                        backward.insert(*step_eid);
+                    }
+                }
+            }
+            circuits.push(Circuit {
+                nodes,
+                backward_edges: backward,
+                total_latency,
+                total_distance,
+            });
+            found = true;
+        } else if !blocked.contains(&w) {
+            let sub_found = circuit_dfs(
+                ddg,
+                adj,
+                start,
+                w,
+                Some((eid, dist)),
+                allowed,
+                blocked,
+                block_map,
+                path,
+                circuits,
+                budget,
+            );
+            found = found || sub_found;
+        }
+    }
+
+    if found {
+        unblock(v, blocked, block_map);
+    } else {
+        for (next, _, _) in adj.get(&v).cloned().unwrap_or_default() {
+            if allowed.contains(&next) {
+                block_map.entry(next).or_default().insert(v);
+            }
+        }
+    }
+    path.pop();
+    found
+}
+
+fn unblock(v: NodeId, blocked: &mut HashSet<NodeId>, block_map: &mut HashMap<NodeId, HashSet<NodeId>>) {
+    blocked.remove(&v);
+    if let Some(dependents) = block_map.remove(&v) {
+        for w in dependents {
+            if blocked.contains(&w) {
+                unblock(w, blocked, block_map);
+            }
+        }
+    }
+}
+
+/// Groups circuits by backward-edge set and sorts the groups by decreasing
+/// `RecMII`.
+fn group_into_subgraphs(circuits: &[Circuit]) -> Vec<RecurrenceSubgraph> {
+    let mut groups: HashMap<BTreeSet<EdgeId>, Vec<usize>> = HashMap::new();
+    for (i, c) in circuits.iter().enumerate() {
+        groups.entry(c.backward_edges.clone()).or_default().push(i);
+    }
+    let mut subgraphs: Vec<RecurrenceSubgraph> = groups
+        .into_iter()
+        .map(|(backward_edges, circuit_indices)| {
+            let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
+            let mut rec_mii = 0u64;
+            for &i in &circuit_indices {
+                nodes.extend(circuits[i].nodes.iter().copied());
+                rec_mii = rec_mii.max(circuits[i].rec_mii());
+            }
+            RecurrenceSubgraph {
+                nodes: nodes.into_iter().collect(),
+                backward_edges,
+                circuit_indices,
+                rec_mii,
+            }
+        })
+        .collect();
+    subgraphs.sort_by(|a, b| {
+        b.rec_mii
+            .cmp(&a.rec_mii)
+            .then_with(|| a.nodes.first().cmp(&b.nodes.first()))
+    });
+    subgraphs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DdgBuilder, DepKind, OpKind};
+
+    fn build_fig8b() -> (Ddg, Vec<NodeId>) {
+        // Figure 8b of the paper: two circuits {A,D,E} and {A,B,C,E} sharing
+        // the single backward edge E -> A.
+        let mut bld = DdgBuilder::new("fig8b");
+        let a = bld.node("A", OpKind::FpAdd, 1);
+        let b = bld.node("B", OpKind::FpAdd, 1);
+        let c = bld.node("C", OpKind::FpAdd, 1);
+        let d = bld.node("D", OpKind::FpAdd, 1);
+        let e = bld.node("E", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, c, DepKind::RegFlow, 0).unwrap();
+        bld.edge(c, e, DepKind::RegFlow, 0).unwrap();
+        bld.edge(a, d, DepKind::RegFlow, 0).unwrap();
+        bld.edge(d, e, DepKind::RegFlow, 0).unwrap();
+        bld.edge(e, a, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        (g, vec![a, b, c, d, e])
+    }
+
+    fn build_fig8c() -> (Ddg, Vec<NodeId>) {
+        // Figure 8c: two circuits sharing node(s) but with *different*
+        // backward edges: A -> B -> A (backward B->A) and B -> C -> B
+        // (backward C->B); they are distinct recurrence subgraphs.
+        let mut bld = DdgBuilder::new("fig8c");
+        let a = bld.node("A", OpKind::FpAdd, 2);
+        let b = bld.node("B", OpKind::FpAdd, 1);
+        let c = bld.node("C", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 1).unwrap();
+        bld.edge(b, c, DepKind::RegFlow, 0).unwrap();
+        bld.edge(c, b, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        (g, vec![a, b, c])
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_circuits() {
+        let g = crate::graph::chain("c", 6, OpKind::FpAdd, 1);
+        let info = RecurrenceInfo::analyze(&g);
+        assert!(!info.has_recurrence());
+        assert_eq!(info.rec_mii_lower_bound(), 0);
+        assert!(info.simplified_node_lists().is_empty());
+        assert!(!info.truncated);
+    }
+
+    #[test]
+    fn self_loop_is_a_trivial_circuit() {
+        let mut bld = DdgBuilder::new("s");
+        let a = bld.node("a", OpKind::FpAdd, 3);
+        bld.edge(a, a, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let info = RecurrenceInfo::analyze(&g);
+        assert_eq!(info.circuits.len(), 1);
+        assert!(info.circuits[0].is_trivial());
+        assert_eq!(info.circuits[0].rec_mii(), 3);
+        assert_eq!(info.rec_mii_lower_bound(), 3);
+        // trivial circuits are excluded from the ordering lists
+        assert!(info.simplified_node_lists().is_empty());
+    }
+
+    #[test]
+    fn shared_backward_edge_merges_into_one_subgraph() {
+        let (g, ids) = build_fig8b();
+        let info = RecurrenceInfo::analyze(&g);
+        assert_eq!(info.circuits.len(), 2, "two elementary circuits");
+        assert_eq!(info.subgraphs.len(), 1, "same backward edge: one subgraph");
+        assert_eq!(info.subgraphs[0].nodes, ids, "subgraph is {{A,B,C,D,E}}");
+        // RecMII: longest circuit has 4 unit-latency nodes over distance 1.
+        assert_eq!(info.rec_mii_lower_bound(), 4);
+    }
+
+    #[test]
+    fn distinct_backward_edges_stay_separate_subgraphs() {
+        let (g, ids) = build_fig8c();
+        let info = RecurrenceInfo::analyze(&g);
+        assert_eq!(info.circuits.len(), 2);
+        assert_eq!(info.subgraphs.len(), 2);
+        // The A-B circuit has latency 3 (A:2 + B:1), the B-C circuit 2;
+        // subgraphs are sorted by decreasing RecMII.
+        assert_eq!(info.subgraphs[0].rec_mii, 3);
+        assert_eq!(info.subgraphs[1].rec_mii, 2);
+        assert_eq!(info.subgraphs[0].nodes, vec![ids[0], ids[1]]);
+        assert_eq!(info.subgraphs[1].nodes, vec![ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn simplified_lists_remove_shared_nodes() {
+        let (g, ids) = build_fig8c();
+        let info = RecurrenceInfo::analyze(&g);
+        let lists = info.simplified_node_lists();
+        assert_eq!(lists.len(), 2);
+        assert_eq!(lists[0], vec![ids[0], ids[1]], "first keeps A and B");
+        assert_eq!(lists[1], vec![ids[2]], "B removed from the second list");
+    }
+
+    #[test]
+    fn rec_mii_accounts_for_distance_greater_than_one() {
+        let mut bld = DdgBuilder::new("dist2");
+        let a = bld.node("a", OpKind::FpDiv, 17);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 2).unwrap();
+        let g = bld.build().unwrap();
+        let info = RecurrenceInfo::analyze(&g);
+        // latency 18 over distance 2 -> ceil = 9
+        assert_eq!(info.rec_mii_lower_bound(), 9);
+    }
+
+    #[test]
+    fn zero_distance_cycle_reports_infinite_rec_mii() {
+        let mut bld = DdgBuilder::new("bad");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 0).unwrap();
+        let g = bld.build().unwrap();
+        let info = RecurrenceInfo::analyze(&g);
+        assert_eq!(info.rec_mii_lower_bound(), u64::MAX);
+    }
+
+    #[test]
+    fn budget_truncates_enumeration() {
+        // Complete-ish digraph on 7 nodes has many circuits.
+        let mut bld = DdgBuilder::new("dense");
+        let ids: Vec<NodeId> = (0..7)
+            .map(|i| bld.node(format!("n{i}"), OpKind::FpAdd, 1))
+            .collect();
+        for &u in &ids {
+            for &v in &ids {
+                if u != v {
+                    bld.edge(u, v, DepKind::RegFlow, 1).unwrap();
+                }
+            }
+        }
+        let g = bld.build().unwrap();
+        let info = RecurrenceInfo::analyze_with_budget(&g, 10);
+        assert!(info.truncated);
+        assert!(info.circuits.len() <= 10);
+        let full = RecurrenceInfo::analyze_with_budget(&g, 1_000_000);
+        assert!(!full.truncated);
+        assert!(full.circuits.len() > 100);
+    }
+
+    #[test]
+    fn two_disjoint_recurrences_give_two_subgraphs() {
+        let mut bld = DdgBuilder::new("two");
+        let a = bld.node("a", OpKind::FpAdd, 4);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        let c = bld.node("c", OpKind::FpMul, 2);
+        let d = bld.node("d", OpKind::FpMul, 2);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 1).unwrap();
+        bld.edge(c, d, DepKind::RegFlow, 0).unwrap();
+        bld.edge(d, c, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let info = RecurrenceInfo::analyze(&g);
+        assert_eq!(info.subgraphs.len(), 2);
+        assert_eq!(info.subgraphs[0].rec_mii, 5);
+        assert_eq!(info.subgraphs[1].rec_mii, 4);
+        let lists = info.simplified_node_lists();
+        assert_eq!(lists.len(), 2);
+        assert_eq!(lists[0], vec![a, b]);
+        assert_eq!(lists[1], vec![c, d]);
+    }
+
+    #[test]
+    fn circuit_nodes_start_at_smallest_id() {
+        let (g, ids) = build_fig8b();
+        let info = RecurrenceInfo::analyze(&g);
+        for c in &info.circuits {
+            assert_eq!(*c.nodes.iter().min().unwrap(), c.nodes[0]);
+            assert!(c.nodes.contains(&ids[0]), "all circuits pass through A");
+        }
+    }
+}

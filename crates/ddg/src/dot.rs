@@ -1,0 +1,139 @@
+//! Graphviz (DOT) export of dependence graphs.
+
+use std::fmt::Write as _;
+
+use crate::graph::Ddg;
+
+/// Options controlling [`to_dot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Show the operation kind and latency inside each node label.
+    pub show_latency: bool,
+    /// Show the dependence distance on each edge (only non-zero distances
+    /// are shown when this is false).
+    pub show_all_distances: bool,
+    /// Render loop-carried edges dashed.
+    pub dash_loop_carried: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            show_latency: true,
+            show_all_distances: false,
+            dash_loop_carried: true,
+        }
+    }
+}
+
+/// Renders the graph in Graphviz DOT syntax (digraph).
+///
+/// The output is deterministic (nodes in id order, edges in insertion order)
+/// so it can be snapshot-tested.
+pub fn to_dot(ddg: &Ddg, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(ddg.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (id, node) in ddg.nodes() {
+        let label = if options.show_latency {
+            format!("{}\\n{} λ={}", escape(node.name()), node.kind(), node.latency())
+        } else {
+            escape(node.name()).to_string()
+        };
+        let _ = writeln!(out, "  {} [label=\"{}\"];", id, label);
+    }
+    for (_, e) in ddg.edges() {
+        let mut attrs: Vec<String> = Vec::new();
+        if e.distance() > 0 || options.show_all_distances {
+            attrs.push(format!("label=\"{} δ={}\"", e.kind(), e.distance()));
+        } else {
+            attrs.push(format!("label=\"{}\"", e.kind()));
+        }
+        if options.dash_loop_carried && e.is_loop_carried() {
+            attrs.push("style=dashed".to_string());
+        }
+        let _ = writeln!(
+            out,
+            "  {} -> {} [{}];",
+            e.source(),
+            e.target(),
+            attrs.join(", ")
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the graph with default options.
+pub fn to_dot_default(ddg: &Ddg) -> String {
+    to_dot(ddg, &DotOptions::default())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DdgBuilder, DepKind, OpKind};
+
+    fn tiny() -> Ddg {
+        let mut b = DdgBuilder::new("tiny \"loop\"");
+        let a = b.node("a", OpKind::Load, 2);
+        let c = b.node("c", OpKind::FpAdd, 1);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(c, c, DepKind::RegFlow, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = tiny();
+        let dot = to_dot_default(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 ["));
+        assert!(dot.contains("n1 ["));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n1"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn loop_carried_edges_are_dashed_and_labelled() {
+        let g = tiny();
+        let dot = to_dot_default(&g);
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("δ=1"));
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let g = tiny();
+        let dot = to_dot_default(&g);
+        assert!(dot.contains("tiny \\\"loop\\\""));
+    }
+
+    #[test]
+    fn options_toggle_latency_display() {
+        let g = tiny();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                show_latency: false,
+                show_all_distances: true,
+                dash_loop_carried: false,
+            },
+        );
+        assert!(!dot.contains("λ="));
+        assert!(dot.contains("δ=0"));
+        assert!(!dot.contains("dashed"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let g = tiny();
+        assert_eq!(to_dot_default(&g), to_dot_default(&g));
+    }
+}

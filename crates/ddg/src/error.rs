@@ -1,0 +1,102 @@
+//! Error type for dependence-graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors produced while building or querying a dependence graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DdgError {
+    /// An operation was given a latency of zero; the paper requires
+    /// `λ(u)` to be a non-zero positive integer.
+    ZeroLatency {
+        /// Name of the offending operation.
+        name: String,
+    },
+    /// An edge referenced a node that does not exist in the graph being
+    /// built.
+    UnknownNode {
+        /// The dangling node id.
+        id: NodeId,
+    },
+    /// Two nodes were given the same name. Names must be unique so that the
+    /// worked examples of the paper can be addressed by name in tests.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// The graph has no nodes at all; an empty loop body cannot be
+    /// scheduled.
+    EmptyGraph,
+    /// A register flow dependence left a node that does not define a value
+    /// (for example a store).
+    FlowFromValueless {
+        /// The producer node.
+        from: NodeId,
+    },
+    /// A node id was out of range for this graph.
+    InvalidNodeId {
+        /// The out-of-range id.
+        id: NodeId,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdgError::ZeroLatency { name } => {
+                write!(f, "operation `{name}` has zero latency")
+            }
+            DdgError::UnknownNode { id } => {
+                write!(f, "edge references unknown node {id:?}")
+            }
+            DdgError::DuplicateName { name } => {
+                write!(f, "duplicate operation name `{name}`")
+            }
+            DdgError::EmptyGraph => write!(f, "dependence graph has no operations"),
+            DdgError::FlowFromValueless { from } => {
+                write!(
+                    f,
+                    "register flow dependence leaves node {from:?} which produces no value"
+                )
+            }
+            DdgError::InvalidNodeId { id, len } => {
+                write!(f, "node id {id:?} out of range for graph with {len} nodes")
+            }
+        }
+    }
+}
+
+impl Error for DdgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = DdgError::ZeroLatency {
+            name: "mul".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("mul"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DdgError>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let e = DdgError::EmptyGraph;
+        assert!(!format!("{e:?}").is_empty());
+    }
+}

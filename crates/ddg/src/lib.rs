@@ -1,0 +1,67 @@
+//! Data-dependence-graph (DDG) substrate for modulo scheduling.
+//!
+//! This crate provides the loop representation used throughout the HRMS
+//! reproduction: a *data-dependence graph* `G = (V, E, δ, λ)` in the notation
+//! of Llosa et al. (MICRO-28, 1995), where
+//!
+//! * each vertex `v ∈ V` is one operation of an innermost-loop body,
+//! * each edge `(u, v) ∈ E` is a dependence (register, memory or control),
+//! * `δ(u,v) ≥ 0` is the dependence *distance* in iterations, and
+//! * `λ(u) ≥ 1` is the *latency* of the operation in cycles.
+//!
+//! On top of the graph itself the crate implements every graph routine the
+//! schedulers rely on:
+//!
+//! * weakly connected components ([`Ddg::connected_components`]),
+//! * strongly connected components ([`scc`]),
+//! * enumeration of elementary circuits and their grouping into *recurrence
+//!   subgraphs* ([`circuits`]),
+//! * the `Search_All_Paths` routine of the paper ([`paths`]),
+//! * ASAP / PALA topological orders and latency-weighted levels ([`topo`]),
+//! * Graphviz export ([`dot`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hrms_ddg::{DdgBuilder, OpKind, DepKind};
+//!
+//! # fn main() -> Result<(), hrms_ddg::DdgError> {
+//! let mut b = DdgBuilder::new("dot_product");
+//! let load_a = b.node("load_a", OpKind::Load, 2);
+//! let load_b = b.node("load_b", OpKind::Load, 2);
+//! let mul = b.node("mul", OpKind::FpMul, 2);
+//! let acc = b.node("acc", OpKind::FpAdd, 1);
+//! b.edge(load_a, mul, DepKind::RegFlow, 0)?;
+//! b.edge(load_b, mul, DepKind::RegFlow, 0)?;
+//! b.edge(mul, acc, DepKind::RegFlow, 0)?;
+//! // the accumulator is a loop-carried dependence of distance 1
+//! b.edge(acc, acc, DepKind::RegFlow, 1)?;
+//! let ddg = b.build()?;
+//! assert_eq!(ddg.num_nodes(), 4);
+//! assert!(ddg.has_recurrence());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod circuits;
+pub mod dot;
+pub mod edge;
+pub mod error;
+pub mod graph;
+pub mod node;
+pub mod paths;
+pub mod scc;
+pub mod topo;
+
+pub use builder::DdgBuilder;
+pub use circuits::{Circuit, RecurrenceInfo, RecurrenceSubgraph};
+pub use edge::{DepKind, Edge, EdgeId};
+pub use error::DdgError;
+pub use graph::{chain, Ddg, DdgSummary, GraphView};
+pub use node::{Node, NodeId, OpKind};
+pub use paths::search_all_paths;
+pub use topo::{sort_asap, sort_pala, CycleError, Direction, TopoLevels};

@@ -1,0 +1,378 @@
+//! Topological orders (ASAP / PALA) and latency-weighted levels.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{Ddg, GraphView};
+use crate::node::NodeId;
+
+/// Direction of a traversal or sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From sources (no predecessors) towards sinks.
+    Forward,
+    /// From sinks (no successors) towards sources.
+    Backward,
+}
+
+/// Error returned when a routine that requires an acyclic (sub)graph finds a
+/// cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// Nodes that could not be ordered because they sit on a cycle.
+    pub stuck: Vec<NodeId>,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "subgraph contains a cycle through {} node(s)",
+            self.stuck.len()
+        )
+    }
+}
+
+impl Error for CycleError {}
+
+/// Topologically sorts the nodes of `subset` (only edges with both endpoints
+/// in `subset` are considered) **sources first**, breaking ties by node id
+/// (program order). This is the paper's `Sort_ASAP`.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the induced subgraph is cyclic.
+pub fn sort_asap<G: GraphView>(graph: &G, subset: &[NodeId]) -> Result<Vec<NodeId>, CycleError> {
+    kahn(graph, subset, Direction::Forward)
+}
+
+/// The paper's `Sort_PALA`: "like an ALAP algorithm, but the list of ordered
+/// nodes is inverted". Concretely this produces a **sinks-first** order of
+/// the induced subgraph, breaking ties by node id.
+///
+/// Predecessor sets of the hypernode are ordered with this sort so that the
+/// node closest to the hypernode is scheduled first (as late as possible) and
+/// every following node already has a successor in the partial schedule.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the induced subgraph is cyclic.
+pub fn sort_pala<G: GraphView>(graph: &G, subset: &[NodeId]) -> Result<Vec<NodeId>, CycleError> {
+    kahn(graph, subset, Direction::Backward)
+}
+
+fn kahn<G: GraphView>(
+    graph: &G,
+    subset: &[NodeId],
+    dir: Direction,
+) -> Result<Vec<NodeId>, CycleError> {
+    let members: HashSet<NodeId> = subset.iter().copied().collect();
+    // in-degree restricted to the subset, in the traversal direction.
+    let mut degree: HashMap<NodeId, usize> = HashMap::new();
+    for &v in &members {
+        let incoming = match dir {
+            Direction::Forward => graph.predecessors_of(v),
+            Direction::Backward => graph.successors_of(v),
+        };
+        let d = incoming
+            .into_iter()
+            .filter(|p| members.contains(p) && *p != v)
+            .count();
+        degree.insert(v, d);
+    }
+
+    // Ready list kept sorted by node id for determinism; a BinaryHeap with
+    // Reverse would also work but the subsets here are small.
+    let mut ready: Vec<NodeId> = degree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&v, _)| v)
+        .collect();
+    ready.sort();
+
+    let mut order = Vec::with_capacity(members.len());
+    while !ready.is_empty() {
+        let v = ready.remove(0);
+        order.push(v);
+        let outgoing = match dir {
+            Direction::Forward => graph.successors_of(v),
+            Direction::Backward => graph.predecessors_of(v),
+        };
+        let mut newly_ready = Vec::new();
+        let mut seen = HashSet::new();
+        for w in outgoing {
+            if w == v || !members.contains(&w) || !seen.insert(w) {
+                continue;
+            }
+            let d = degree.get_mut(&w).expect("member has a degree entry");
+            *d -= 1;
+            if *d == 0 {
+                newly_ready.push(w);
+            }
+        }
+        newly_ready.sort();
+        // merge keeping overall id order among currently-ready nodes
+        ready.extend(newly_ready);
+        ready.sort();
+    }
+
+    if order.len() != members.len() {
+        let stuck: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|v| !order.contains(v))
+            .collect();
+        return Err(CycleError { stuck });
+    }
+    Ok(order)
+}
+
+/// Latency-weighted levels of an acyclic view of the graph.
+///
+/// `depth(v)` is the length (sum of latencies of *producers*) of the longest
+/// path from any source to `v`, i.e. the earliest cycle at which `v` could
+/// start on a machine with unlimited resources and no loop-carried
+/// dependences. `height(v)` is the symmetric longest path from `v` to any
+/// sink, *including* `v`'s own latency. Loop-carried edges (distance > 0) are
+/// ignored, which makes the computation well-defined even for graphs with
+/// recurrences (every recurrence circuit contains at least one loop-carried
+/// edge).
+///
+/// These levels drive the priority functions of the Top-Down / Bottom-Up /
+/// Slack baseline schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoLevels {
+    depth: Vec<u64>,
+    height: Vec<u64>,
+}
+
+impl TopoLevels {
+    /// Computes depth and height for every node of `ddg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the graph restricted to intra-iteration
+    /// (distance 0) edges contains a cycle — such a loop body is not a valid
+    /// single-iteration program.
+    pub fn compute(ddg: &Ddg) -> Result<Self, CycleError> {
+        let n = ddg.num_nodes();
+        // Order nodes topologically over distance-0 edges.
+        let order = zero_distance_topo(ddg)?;
+        let mut depth = vec![0u64; n];
+        let mut height = vec![0u64; n];
+        for &v in &order {
+            for (_, e) in ddg.in_edges(v) {
+                if e.distance() == 0 {
+                    let u = e.source();
+                    let cand = depth[u.index()] + u64::from(ddg.node(u).latency());
+                    depth[v.index()] = depth[v.index()].max(cand);
+                }
+            }
+        }
+        for &v in order.iter().rev() {
+            height[v.index()] = u64::from(ddg.node(v).latency());
+            for (_, e) in ddg.out_edges(v) {
+                if e.distance() == 0 {
+                    let w = e.target();
+                    let cand = height[w.index()] + u64::from(ddg.node(v).latency());
+                    height[v.index()] = height[v.index()].max(cand);
+                }
+            }
+        }
+        Ok(TopoLevels { depth, height })
+    }
+
+    /// Earliest possible start cycle of `v` ignoring resources and
+    /// loop-carried dependences.
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u64 {
+        self.depth[v.index()]
+    }
+
+    /// Longest latency-weighted path from `v` (inclusive) to any sink.
+    #[inline]
+    pub fn height(&self, v: NodeId) -> u64 {
+        self.height[v.index()]
+    }
+
+    /// Length of the critical path of one iteration (max over nodes of
+    /// `depth + height`).
+    pub fn critical_path(&self) -> u64 {
+        self.depth
+            .iter()
+            .zip(&self.height)
+            .map(|(d, h)| d + h)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Topological order over distance-0 edges only.
+fn zero_distance_topo(ddg: &Ddg) -> Result<Vec<NodeId>, CycleError> {
+    let n = ddg.num_nodes();
+    let mut indeg = vec![0usize; n];
+    for (_, e) in ddg.edges() {
+        if e.distance() == 0 && !e.is_self_loop() {
+            indeg[e.target().index()] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    ready.sort();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = ready.first().copied() {
+        ready.remove(0);
+        order.push(NodeId::from_index(v));
+        let mut newly = Vec::new();
+        for (_, e) in ddg.out_edges(NodeId::from_index(v)) {
+            if e.distance() == 0 && !e.is_self_loop() {
+                let t = e.target().index();
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    newly.push(t);
+                }
+            }
+        }
+        ready.extend(newly);
+        ready.sort();
+    }
+    if order.len() != n {
+        let stuck = (0..n)
+            .map(NodeId::from_index)
+            .filter(|v| !order.contains(v))
+            .collect();
+        return Err(CycleError { stuck });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DdgBuilder, DepKind, OpKind};
+
+    fn path_graph() -> (Ddg, Vec<NodeId>) {
+        // B -> E -> I, plus isolated X
+        let mut bld = DdgBuilder::new("t");
+        let b = bld.node("B", OpKind::FpAdd, 1);
+        let e = bld.node("E", OpKind::FpAdd, 2);
+        let i = bld.node("I", OpKind::FpAdd, 3);
+        let x = bld.node("X", OpKind::FpAdd, 1);
+        bld.edge(b, e, DepKind::RegFlow, 0).unwrap();
+        bld.edge(e, i, DepKind::RegFlow, 0).unwrap();
+        let g = bld.build().unwrap();
+        (g, vec![b, e, i, x])
+    }
+
+    #[test]
+    fn asap_orders_sources_first() {
+        let (g, ids) = path_graph();
+        let order = sort_asap(&g, &[ids[0], ids[1], ids[2]]).unwrap();
+        assert_eq!(order, vec![ids[0], ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn pala_orders_sinks_first() {
+        let (g, ids) = path_graph();
+        // This reproduces step 6 of the paper's Figure 7 walk-through: the
+        // predecessors {B, I} plus the connecting node E are ordered
+        // {I, E, B}.
+        let order = sort_pala(&g, &[ids[0], ids[1], ids[2]]).unwrap();
+        assert_eq!(order, vec![ids[2], ids[1], ids[0]]);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let (g, ids) = path_graph();
+        // B and X are both sources with no relation: program order decides.
+        let order = sort_asap(&g, &[ids[3], ids[0]]).unwrap();
+        assert_eq!(order, vec![ids[0], ids[3]]);
+    }
+
+    #[test]
+    fn sort_detects_cycles() {
+        let mut bld = DdgBuilder::new("cyc");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 0).unwrap();
+        let g = bld.build().unwrap();
+        let err = sort_asap(&g, &[a, b]).unwrap_err();
+        assert_eq!(err.stuck.len(), 2);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn edges_leaving_the_subset_are_ignored() {
+        let (g, ids) = path_graph();
+        // Only E and I: B -> E leaves the subset and must not matter.
+        let order = sort_asap(&g, &[ids[1], ids[2]]).unwrap();
+        assert_eq!(order, vec![ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn self_loops_do_not_block_sorting() {
+        let mut bld = DdgBuilder::new("self");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        bld.edge(a, a, DepKind::RegFlow, 1).unwrap();
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        let g = bld.build().unwrap();
+        let order = sort_asap(&g, &[a, b]).unwrap();
+        assert_eq!(order, vec![a, b]);
+    }
+
+    #[test]
+    fn levels_follow_latencies() {
+        let (g, ids) = path_graph();
+        let levels = TopoLevels::compute(&g).unwrap();
+        assert_eq!(levels.depth(ids[0]), 0);
+        assert_eq!(levels.depth(ids[1]), 1);
+        assert_eq!(levels.depth(ids[2]), 3);
+        assert_eq!(levels.height(ids[2]), 3);
+        assert_eq!(levels.height(ids[1]), 5);
+        assert_eq!(levels.height(ids[0]), 6);
+        assert_eq!(levels.critical_path(), 6);
+    }
+
+    #[test]
+    fn levels_ignore_loop_carried_edges() {
+        let mut bld = DdgBuilder::new("rec");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 1).unwrap(); // recurrence, ignored
+        let g = bld.build().unwrap();
+        let levels = TopoLevels::compute(&g).unwrap();
+        assert_eq!(levels.depth(a), 0);
+        assert_eq!(levels.depth(b), 1);
+    }
+
+    #[test]
+    fn levels_reject_zero_distance_cycles() {
+        let mut bld = DdgBuilder::new("bad");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 0).unwrap();
+        let g = bld.build().unwrap();
+        assert!(TopoLevels::compute(&g).is_err());
+    }
+
+    #[test]
+    fn diamond_critical_path_takes_longest_branch() {
+        let mut bld = DdgBuilder::new("diamond");
+        let a = bld.node("a", OpKind::Load, 2);
+        let b = bld.node("b", OpKind::FpDiv, 17);
+        let c = bld.node("c", OpKind::FpAdd, 1);
+        let d = bld.node("d", OpKind::Store, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, d, DepKind::RegFlow, 0).unwrap();
+        bld.edge(c, d, DepKind::RegFlow, 0).unwrap();
+        let g = bld.build().unwrap();
+        let levels = TopoLevels::compute(&g).unwrap();
+        assert_eq!(levels.critical_path(), 2 + 17 + 1);
+        assert_eq!(levels.depth(d), 19);
+    }
+}

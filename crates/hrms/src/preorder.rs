@@ -1,0 +1,560 @@
+//! The pre-ordering phase of HRMS (Sections 3.1 and 3.2 of the paper).
+//!
+//! The pre-ordering decides the order in which operations will be handed to
+//! the scheduling step. It guarantees that, when an operation is scheduled,
+//! the partial schedule contains only its predecessors **or** only its
+//! successors (never both), except when the last node of a recurrence
+//! circuit is placed. It also gives priority to recurrence circuits, most
+//! restrictive (highest `RecMII`) first, so that recurrences are never
+//! stretched.
+
+use std::collections::{BTreeSet, HashSet};
+
+use hrms_ddg::{
+    scc, search_all_paths, sort_asap, sort_pala, Ddg, EdgeId, GraphView, NodeId, RecurrenceInfo,
+};
+
+use crate::workgraph::WorkGraph;
+
+/// How the initial hypernode of a recurrence-free component is chosen.
+///
+/// The paper (footnote 1) notes that the algorithm shortens lifetimes
+/// irrespective of the starting node; this policy exists so that the
+/// ablation benchmarks can verify that claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StartNodePolicy {
+    /// The first node of the component in program order (the paper's
+    /// default).
+    #[default]
+    FirstInProgramOrder,
+    /// The last node of the component in program order.
+    LastInProgramOrder,
+    /// A caller-chosen node (falls back to program order when the node is
+    /// not part of the component being ordered).
+    Fixed(NodeId),
+}
+
+impl StartNodePolicy {
+    fn pick(self, candidates: &[NodeId]) -> NodeId {
+        match self {
+            StartNodePolicy::FirstInProgramOrder => candidates[0],
+            StartNodePolicy::LastInProgramOrder => *candidates.last().expect("non-empty"),
+            StartNodePolicy::Fixed(n) if candidates.contains(&n) => n,
+            StartNodePolicy::Fixed(_) => candidates[0],
+        }
+    }
+}
+
+/// Options for the pre-ordering phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreOrderOptions {
+    /// Initial-hypernode selection policy.
+    pub start_node: StartNodePolicy,
+}
+
+/// The result of the pre-ordering phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreOrdering {
+    /// The complete node order handed to the scheduling step.
+    pub order: Vec<NodeId>,
+    /// Number of weakly connected components of the loop body.
+    pub components: usize,
+    /// Number of (non-trivial) recurrence subgraphs handled with priority.
+    pub recurrence_subgraphs: usize,
+}
+
+/// Pre-orders the nodes of `ddg` with the default options.
+pub fn pre_order(ddg: &Ddg) -> PreOrdering {
+    pre_order_with(ddg, &PreOrderOptions::default())
+}
+
+/// Pre-orders the nodes of `ddg`.
+///
+/// The returned order contains every node exactly once. Graphs whose
+/// zero-distance subgraph is cyclic (invalid loop bodies) are still ordered
+/// — the order degenerates towards program order — but the scheduling step
+/// will subsequently reject them when computing the MII.
+pub fn pre_order_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
+    let rec_info = RecurrenceInfo::analyze(ddg);
+    let dropped = backward_edges(ddg);
+    let simplified = rec_info.simplified_node_lists();
+
+    // Components ordered by the most restrictive recurrence they contain.
+    let mut components = ddg.connected_components();
+    let component_priority: Vec<u64> = components
+        .iter()
+        .map(|comp| {
+            let members: HashSet<NodeId> = comp.iter().copied().collect();
+            rec_info
+                .subgraphs
+                .iter()
+                .filter(|sg| sg.nodes.iter().all(|n| members.contains(n)))
+                .map(|sg| sg.rec_mii)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut component_order: Vec<usize> = (0..components.len()).collect();
+    component_order.sort_by(|&a, &b| {
+        component_priority[b]
+            .cmp(&component_priority[a])
+            .then_with(|| components[a][0].cmp(&components[b][0]))
+    });
+    let num_components = components.len();
+
+    let mut order: Vec<NodeId> = Vec::with_capacity(ddg.num_nodes());
+    let mut recurrence_subgraphs = 0usize;
+
+    for ci in component_order {
+        let component = std::mem::take(&mut components[ci]);
+        let member_set: HashSet<NodeId> = component.iter().copied().collect();
+        let mut work = WorkGraph::new(ddg, &component, &dropped);
+
+        // Recurrence subgraph node lists that live in this component,
+        // already sorted by decreasing RecMII by `simplified_node_lists`.
+        let lists: Vec<&Vec<NodeId>> = simplified
+            .iter()
+            .filter(|l| member_set.contains(&l[0]))
+            .collect();
+
+        let h = if let Some(first_list) = lists.first() {
+            recurrence_subgraphs += lists.len();
+            // --- Ordering_Recurrences (Section 3.2) ---
+            let h = first_list[0];
+            order.push(h);
+            // Order the most restrictive recurrence subgraph on its own.
+            let region: BTreeSet<NodeId> = first_list.iter().copied().collect();
+            order_region(&mut work, &region, h, &mut order);
+
+            // Then bring in the remaining recurrence subgraphs one by one,
+            // together with the nodes on paths connecting them to the
+            // hypernode.
+            for list in lists.iter().skip(1) {
+                let mut seeds: Vec<NodeId> = vec![h];
+                seeds.extend(list.iter().copied());
+                let mut region: BTreeSet<NodeId> =
+                    search_all_paths(&work, &seeds).into_iter().collect();
+                region.extend(list.iter().copied());
+                region.insert(h);
+                order_region(&mut work, &region, h, &mut order);
+            }
+            h
+        } else {
+            // No recurrences: pick the initial hypernode per policy.
+            let h = options.start_node.pick(&component);
+            order.push(h);
+            h
+        };
+
+        // Order whatever is left of the component around the hypernode
+        // (Section 3.1).
+        pre_order_connected(&mut work, h, &mut order);
+    }
+
+    PreOrdering {
+        order,
+        components: num_components,
+        recurrence_subgraphs,
+    }
+}
+
+/// The backward edges of every recurrence circuit: loop-carried edges whose
+/// endpoints belong to the same strongly connected component. Removing them
+/// makes the work graph acyclic (any remaining cycle would have distance 0,
+/// which the MII computation rejects).
+pub fn backward_edges(ddg: &Ddg) -> HashSet<EdgeId> {
+    let mut scc_of = vec![usize::MAX; ddg.num_nodes()];
+    for (i, comp) in scc::strongly_connected_components(ddg).iter().enumerate() {
+        for &n in comp {
+            scc_of[n.index()] = i;
+        }
+    }
+    ddg.edges()
+        .filter(|(_, e)| {
+            e.distance() > 0 && scc_of[e.source().index()] == scc_of[e.target().index()]
+        })
+        .map(|(eid, _)| eid)
+        .collect()
+}
+
+/// Orders the sub-region `region` of `work` around the hypernode `h`
+/// (generating the subgraph, running the recurrence-free pre-ordering on it,
+/// and reducing the whole region into `h` in the main work graph).
+fn order_region(
+    work: &mut WorkGraph,
+    region: &BTreeSet<NodeId>,
+    h: NodeId,
+    order: &mut Vec<NodeId>,
+) {
+    let mut temp = work.restricted(region);
+    temp.ensure_node(h);
+    pre_order_connected(&mut temp, h, order);
+    let others: Vec<NodeId> = region.iter().copied().filter(|&n| n != h).collect();
+    for &n in &others {
+        work.ensure_node(n);
+    }
+    work.reduce(&others, h);
+}
+
+/// The paper's `Pre_Ordering` function (Figure 5) for graphs without
+/// recurrence circuits, operating on an acyclic [`WorkGraph`]: alternately
+/// absorbs the hypernode's predecessors (with all nodes on paths among them,
+/// in PALA order) and successors (in ASAP order) until nothing is adjacent,
+/// then falls back to pulling in the lowest-numbered remaining node (this
+/// covers the paper's "no path between the hypernode and the next recurrence
+/// circuit" case as well as disconnected leftovers).
+fn pre_order_connected(work: &mut WorkGraph, h: NodeId, order: &mut Vec<NodeId>) {
+    loop {
+        let preds = work.predecessors_of(h);
+        if !preds.is_empty() {
+            let region = neighbour_region(work, h, &preds);
+            let sorted = sort_pala(&work.without(h), &region)
+                .expect("the work graph is acyclic once backward edges are removed");
+            work.reduce(&region, h);
+            order.extend(sorted);
+        }
+
+        let succs = work.successors_of(h);
+        if !succs.is_empty() {
+            let region = neighbour_region(work, h, &succs);
+            let sorted = sort_asap(&work.without(h), &region)
+                .expect("the work graph is acyclic once backward edges are removed");
+            work.reduce(&region, h);
+            order.extend(sorted);
+        }
+
+        if work.predecessors_of(h).is_empty() && work.successors_of(h).is_empty() {
+            if work.len() <= 1 {
+                break;
+            }
+            // Disconnected remainder: absorb its lowest-numbered node so the
+            // iteration can continue (paper, Section 3.2, last paragraph of
+            // the recurrence-ordering description).
+            let next = work
+                .nodes()
+                .into_iter()
+                .filter(|&n| n != h)
+                .min()
+                .expect("len > 1 guarantees another node");
+            order.push(next);
+            work.reduce(&[next], h);
+        }
+    }
+}
+
+/// The region absorbed together with the hypernode's predecessors
+/// (successors): the neighbours themselves plus every node lying on a path
+/// among them **or between them and the hypernode**.
+///
+/// Including the hypernode as a path-search seed is essential: once the
+/// hypernode has absorbed several original operations, a node can be
+/// simultaneously a (transitive) successor of one absorbed operation and a
+/// (transitive) predecessor of a neighbour being absorbed now. Ordering it
+/// together with that neighbour keeps the paper's invariant — no operation
+/// is scheduled after both a predecessor and a successor have already been
+/// placed on opposite, too-tight sides.
+fn neighbour_region(work: &WorkGraph, h: NodeId, neighbours: &[NodeId]) -> Vec<NodeId> {
+    let mut seeds: Vec<NodeId> = neighbours.to_vec();
+    seeds.push(h);
+    let mut region: Vec<NodeId> = search_all_paths(work, &seeds)
+        .into_iter()
+        .filter(|&n| n != h)
+        .collect();
+    region.sort();
+    region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+
+    /// The dependence graph of the paper's Figure 1 (motivating example),
+    /// reconstructed from the scheduling walk-through of Section 2.1.
+    fn figure1() -> (Ddg, Vec<NodeId>) {
+        let mut b = DdgBuilder::new("fig1");
+        let names = ["A", "B", "C", "D", "E", "F", "G"];
+        let ids: Vec<NodeId> = names
+            .iter()
+            .map(|n| b.node(*n, OpKind::Other, 2))
+            .collect();
+        let e = |b: &mut DdgBuilder, s: usize, t: usize| {
+            b.edge(ids[s], ids[t], DepKind::RegFlow, 0).unwrap();
+        };
+        e(&mut b, 0, 1); // A -> B
+        e(&mut b, 1, 2); // B -> C
+        e(&mut b, 1, 3); // B -> D
+        e(&mut b, 3, 5); // D -> F
+        e(&mut b, 4, 5); // E -> F
+        e(&mut b, 5, 6); // F -> G
+        (b.build().unwrap(), ids)
+    }
+
+    /// The dependence graph of the paper's Figure 7a, reconstructed from the
+    /// step-by-step ordering walk-through of Section 3.1.
+    fn figure7() -> (Ddg, Vec<NodeId>) {
+        let mut b = DdgBuilder::new("fig7");
+        let names = ["A", "B", "C", "D", "E", "F", "G", "H", "I", "J"];
+        let ids: Vec<NodeId> = names
+            .iter()
+            .map(|n| b.node(*n, OpKind::Other, 1))
+            .collect();
+        let idx = |c: char| (c as u8 - b'A') as usize;
+        let e = |s: char, t: char, bld: &mut DdgBuilder| {
+            bld.edge(ids[idx(s)], ids[idx(t)], DepKind::RegFlow, 0)
+                .unwrap();
+        };
+        e('A', 'C', &mut b);
+        e('C', 'G', &mut b);
+        e('C', 'H', &mut b);
+        e('D', 'H', &mut b);
+        e('H', 'J', &mut b);
+        e('B', 'J', &mut b);
+        e('I', 'J', &mut b);
+        e('B', 'E', &mut b);
+        e('E', 'I', &mut b);
+        e('F', 'I', &mut b);
+        (b.build().unwrap(), ids)
+    }
+
+    fn names(ddg: &Ddg, order: &[NodeId]) -> Vec<String> {
+        order.iter().map(|&n| ddg.node(n).name().to_string()).collect()
+    }
+
+    #[test]
+    fn figure1_is_ordered_as_in_the_paper() {
+        let (g, _) = figure1();
+        let p = pre_order(&g);
+        assert_eq!(
+            names(&g, &p.order),
+            vec!["A", "B", "C", "D", "F", "E", "G"],
+            "Section 2.1 gives the order {{A, B, C, D, F, E, G}}"
+        );
+        assert_eq!(p.components, 1);
+        assert_eq!(p.recurrence_subgraphs, 0);
+    }
+
+    #[test]
+    fn figure7_is_ordered_as_in_the_paper() {
+        let (g, _) = figure7();
+        let p = pre_order(&g);
+        assert_eq!(
+            names(&g, &p.order),
+            vec!["A", "C", "G", "H", "D", "J", "I", "E", "B", "F"],
+            "Section 3.1 walks through the order {{A, C, G, H, D, J, I, E, B, F}}"
+        );
+    }
+
+    #[test]
+    fn every_node_appears_exactly_once() {
+        for (g, _) in [figure1(), figure7()] {
+            let p = pre_order(&g);
+            let mut sorted: Vec<NodeId> = p.order.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn neighbour_invariant_holds() {
+        // The defining property: when a node is ordered, the already-ordered
+        // prefix contains only its predecessors or only its successors (in
+        // the acyclic graph), never both — except for nodes closing a
+        // recurrence.
+        let (g, _) = figure7();
+        let p = pre_order(&g);
+        let mut placed: HashSet<NodeId> = HashSet::new();
+        for &n in &p.order {
+            let preds_in = g.predecessors(n).iter().filter(|p| placed.contains(p)).count();
+            let succs_in = g.successors(n).iter().filter(|s| placed.contains(s)).count();
+            assert!(
+                preds_in == 0 || succs_in == 0,
+                "node {n} has both predecessors and successors already ordered"
+            );
+            placed.insert(n);
+        }
+    }
+
+    #[test]
+    fn every_ordered_node_has_a_reference_neighbour() {
+        // Except for the very first node of each component, every node must
+        // have at least one already-ordered neighbour (its "reference
+        // operation") in a weakly connected graph.
+        let (g, _) = figure7();
+        let p = pre_order(&g);
+        let mut placed: HashSet<NodeId> = HashSet::new();
+        for (i, &n) in p.order.iter().enumerate() {
+            if i > 0 {
+                let has_ref = g
+                    .predecessors(n)
+                    .iter()
+                    .chain(g.successors(n).iter())
+                    .any(|x| placed.contains(x));
+                assert!(has_ref, "node {n} was ordered without any reference");
+            }
+            placed.insert(n);
+        }
+    }
+
+    #[test]
+    fn recurrence_nodes_come_first() {
+        // A graph with a recurrence {X, Y} and a long acyclic tail: the
+        // recurrence must be ordered before the tail regardless of program
+        // order.
+        let mut b = DdgBuilder::new("rec_first");
+        let t0 = b.node("t0", OpKind::FpAdd, 1);
+        let t1 = b.node("t1", OpKind::FpAdd, 1);
+        let x = b.node("x", OpKind::FpAdd, 1);
+        let y = b.node("y", OpKind::FpAdd, 1);
+        b.edge(t0, t1, DepKind::RegFlow, 0).unwrap();
+        b.edge(t1, x, DepKind::RegFlow, 0).unwrap();
+        b.edge(x, y, DepKind::RegFlow, 0).unwrap();
+        b.edge(y, x, DepKind::RegFlow, 1).unwrap();
+        let g = b.build().unwrap();
+        let p = pre_order(&g);
+        assert_eq!(p.recurrence_subgraphs, 1);
+        let pos = |n: NodeId| p.order.iter().position(|&m| m == n).unwrap();
+        assert!(pos(x) < pos(t0));
+        assert!(pos(y) < pos(t0));
+    }
+
+    #[test]
+    fn most_restrictive_recurrence_is_ordered_first() {
+        // Two recurrences: {a, b} with RecMII 2 and {c, d} with RecMII 10,
+        // connected through a path. The slower one must be ordered first.
+        let mut bld = DdgBuilder::new("two_rec");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        let mid = bld.node("mid", OpKind::FpAdd, 1);
+        let c = bld.node("c", OpKind::FpDiv, 17);
+        let d = bld.node("d", OpKind::FpAdd, 3);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 1).unwrap();
+        bld.edge(b, mid, DepKind::RegFlow, 0).unwrap();
+        bld.edge(mid, c, DepKind::RegFlow, 0).unwrap();
+        bld.edge(c, d, DepKind::RegFlow, 0).unwrap();
+        bld.edge(d, c, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let p = pre_order(&g);
+        let pos = |n: NodeId| p.order.iter().position(|&m| m == n).unwrap();
+        assert!(pos(c) < pos(a), "the RecMII-20 recurrence goes first");
+        assert!(pos(d) < pos(b));
+        assert_eq!(p.order.len(), 5);
+        assert_eq!(p.recurrence_subgraphs, 2);
+    }
+
+    #[test]
+    fn disconnected_recurrence_is_still_ordered() {
+        // Two recurrences with no path between them at all.
+        let mut bld = DdgBuilder::new("islands");
+        let a = bld.node("a", OpKind::FpAdd, 4);
+        let b = bld.node("b", OpKind::FpAdd, 4);
+        let c = bld.node("c", OpKind::FpAdd, 1);
+        let d = bld.node("d", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 1).unwrap();
+        bld.edge(c, d, DepKind::RegFlow, 0).unwrap();
+        bld.edge(d, c, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let p = pre_order(&g);
+        assert_eq!(p.order.len(), 4);
+        assert_eq!(p.components, 2);
+    }
+
+    #[test]
+    fn multiple_components_are_all_ordered() {
+        let mut b = DdgBuilder::new("comps");
+        let a = b.node("a", OpKind::FpAdd, 1);
+        let c = b.node("c", OpKind::FpAdd, 1);
+        let d = b.node("d", OpKind::FpAdd, 1);
+        let e = b.node("e", OpKind::FpAdd, 1);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(d, e, DepKind::RegFlow, 0).unwrap();
+        let g = b.build().unwrap();
+        let p = pre_order(&g);
+        assert_eq!(p.order.len(), 4);
+        assert_eq!(p.components, 2);
+    }
+
+    #[test]
+    fn component_with_recurrence_has_priority() {
+        // Component 1 is acyclic (and first in program order), component 2
+        // has a recurrence: the recurrence component must be ordered first.
+        let mut b = DdgBuilder::new("prio");
+        let a = b.node("a", OpKind::FpAdd, 1);
+        let c = b.node("c", OpKind::FpAdd, 1);
+        let x = b.node("x", OpKind::FpAdd, 1);
+        let y = b.node("y", OpKind::FpAdd, 1);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(x, y, DepKind::RegFlow, 0).unwrap();
+        b.edge(y, x, DepKind::RegFlow, 1).unwrap();
+        let g = b.build().unwrap();
+        let p = pre_order(&g);
+        let pos = |n: NodeId| p.order.iter().position(|&m| m == n).unwrap();
+        assert!(pos(x) < pos(a));
+        assert!(pos(y) < pos(a));
+    }
+
+    #[test]
+    fn self_loops_do_not_disturb_the_ordering() {
+        let (g, _) = figure1();
+        // Re-build figure 1 with an accumulator-style self-loop on G.
+        let mut b = DdgBuilder::new("fig1_self");
+        let ids: Vec<NodeId> = (0..g.num_nodes())
+            .map(|i| {
+                let n = g.node(NodeId::from_index(i));
+                b.node(n.name(), n.kind(), n.latency())
+            })
+            .collect();
+        for (_, e) in g.edges() {
+            b.edge(e.source(), e.target(), e.kind(), e.distance()).unwrap();
+        }
+        b.edge(ids[6], ids[6], DepKind::RegFlow, 1).unwrap();
+        let g2 = b.build().unwrap();
+        let p = pre_order(&g2);
+        let names: Vec<String> = p.order.iter().map(|&n| g2.node(n).name().to_string()).collect();
+        assert_eq!(names, vec!["A", "B", "C", "D", "F", "E", "G"]);
+    }
+
+    #[test]
+    fn start_node_policy_changes_the_first_node() {
+        let (g, ids) = figure1();
+        let p = pre_order_with(
+            &g,
+            &PreOrderOptions {
+                start_node: StartNodePolicy::Fixed(ids[4]),
+            },
+        );
+        assert_eq!(p.order[0], ids[4], "E was requested as the initial hypernode");
+        assert_eq!(p.order.len(), 7);
+
+        let p = pre_order_with(
+            &g,
+            &PreOrderOptions {
+                start_node: StartNodePolicy::LastInProgramOrder,
+            },
+        );
+        assert_eq!(p.order[0], ids[6]);
+        assert_eq!(p.order.len(), 7);
+    }
+
+    #[test]
+    fn backward_edges_are_exactly_the_in_scc_loop_carried_edges() {
+        let mut b = DdgBuilder::new("be");
+        let a = b.node("a", OpKind::FpAdd, 1);
+        let c = b.node("c", OpKind::FpAdd, 1);
+        let d = b.node("d", OpKind::FpAdd, 1);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(c, a, DepKind::RegFlow, 1).unwrap(); // backward
+        b.edge(c, d, DepKind::RegFlow, 2).unwrap(); // loop-carried but not in a cycle
+        let g = b.build().unwrap();
+        let be = backward_edges(&g);
+        assert_eq!(be.len(), 1);
+        let (eid, _) = g
+            .edges()
+            .find(|(_, e)| e.source() == c && e.target() == a)
+            .unwrap();
+        assert!(be.contains(&eid));
+    }
+}

@@ -1,0 +1,481 @@
+//! The scheduling step of HRMS (Section 3.3) and the top-level scheduler.
+
+use std::time::{Duration, Instant};
+
+use hrms_ddg::{Ddg, NodeId};
+use hrms_machine::Machine;
+use hrms_modsched::{
+    MiiInfo, ModuloScheduler, PartialSchedule, SchedError, Schedule, ScheduleOutcome,
+    SchedulerConfig,
+};
+
+use crate::preorder::{pre_order_with, PreOrderOptions, PreOrdering};
+
+/// How the node order handed to the scheduling step is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingMode {
+    /// The hypernode-reduction pre-ordering of the paper (default).
+    #[default]
+    HypernodeReduction,
+    /// Plain program order — the "no pre-ordering" ablation. The scheduling
+    /// step is unchanged, so the difference in register pressure and II
+    /// isolates the contribution of the ordering phase.
+    ProgramOrder,
+}
+
+/// Configuration of the HRMS scheduler.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HrmsOptions {
+    /// Shared scheduler configuration (II caps, budgets).
+    pub config: SchedulerConfig,
+    /// Pre-ordering options (initial hypernode selection).
+    pub preorder: PreOrderOptions,
+    /// Ordering mode (hypernode reduction or the program-order ablation).
+    pub ordering: OrderingMode,
+}
+
+/// Hypernode Reduction Modulo Scheduling.
+///
+/// The scheduler runs the pre-ordering phase once, then tries increasing
+/// initiation intervals starting at `MII`; for each II the nodes are placed
+/// one at a time in the pre-computed order:
+///
+/// * only predecessors already placed → as **soon** as possible, scanning
+///   `Early_Start(u) .. Early_Start(u) + II − 1`,
+/// * only successors already placed → as **late** as possible, scanning
+///   `Late_Start(u) .. Late_Start(u) − II + 1`,
+/// * both (the node closes a recurrence) → forward scan limited to
+///   `min(Late_Start(u), Early_Start(u) + II − 1)`,
+/// * neither (first node of a component) → as soon as possible from cycle 0.
+///
+/// If any node cannot be placed the II is increased by one and the
+/// scheduling step restarts; the ordering is *not* recomputed (one of the
+/// stated advantages of HRMS).
+///
+/// # Example
+///
+/// ```
+/// use hrms_core::HrmsScheduler;
+/// use hrms_modsched::ModuloScheduler;
+/// use hrms_machine::presets;
+/// use hrms_ddg::{DdgBuilder, OpKind, DepKind};
+///
+/// # fn main() -> Result<(), hrms_modsched::SchedError> {
+/// let mut b = DdgBuilder::new("example");
+/// let ld = b.node("ld", OpKind::Load, 2);
+/// let add = b.node("add", OpKind::FpAdd, 1);
+/// b.edge(ld, add, DepKind::RegFlow, 0)?;
+/// let ddg = b.build()?;
+/// let outcome = HrmsScheduler::new().schedule_loop(&ddg, &presets::govindarajan())?;
+/// assert_eq!(outcome.metrics.ii, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HrmsScheduler {
+    options: HrmsOptions,
+}
+
+impl HrmsScheduler {
+    /// Creates an HRMS scheduler with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an HRMS scheduler with the given options.
+    pub fn with_options(options: HrmsOptions) -> Self {
+        HrmsScheduler { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &HrmsOptions {
+        &self.options
+    }
+
+    /// Runs only the pre-ordering phase (exposed for tests, the ablation
+    /// harness and the phase-time measurements of Section 4.2).
+    pub fn pre_order(&self, ddg: &Ddg) -> PreOrdering {
+        pre_order_with(ddg, &self.options.preorder)
+    }
+
+    fn node_order(&self, ddg: &Ddg) -> Vec<NodeId> {
+        match self.options.ordering {
+            OrderingMode::HypernodeReduction => self.pre_order(ddg).order,
+            OrderingMode::ProgramOrder => ddg.node_ids().collect(),
+        }
+    }
+}
+
+impl ModuloScheduler for HrmsScheduler {
+    fn name(&self) -> &str {
+        match self.options.ordering {
+            OrderingMode::HypernodeReduction => "HRMS",
+            OrderingMode::ProgramOrder => "HRMS-no-preorder",
+        }
+    }
+
+    fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
+        let start = Instant::now();
+        let mii = MiiInfo::compute(ddg, machine)?;
+
+        let order_start = Instant::now();
+        let order = self.node_order(ddg);
+        let ordering_time = order_start.elapsed();
+
+        let max_ii = self.options.config.effective_max_ii(ddg, mii.mii());
+        if max_ii < mii.mii() {
+            return Err(SchedError::NoValidSchedule { max_ii_tried: max_ii });
+        }
+        // Robustness fallback order: the HRMS order can, on rare pathological
+        // graphs, leave an operation with an empty placement window that no
+        // II increase can open (a purely intra-iteration path discovered
+        // after both of its endpoints were placed). A plain earliest-start
+        // order never has that problem, so each II is retried with it before
+        // escalating; the fallback almost never fires on real loop bodies.
+        let mut fallback_order: Option<Vec<NodeId>> = None;
+        let mut attempts = 0;
+        let mut ii = mii.mii();
+        loop {
+            attempts += 1;
+            if let Some(schedule) = schedule_at_ii(ddg, machine, &order, ii) {
+                return Ok(ScheduleOutcome::new(
+                    ddg,
+                    schedule,
+                    mii,
+                    attempts,
+                    start.elapsed(),
+                    ordering_time,
+                ));
+            }
+            let fallback = fallback_order.get_or_insert_with(|| earliest_start_order(ddg, mii.mii()));
+            if let Some(schedule) = schedule_at_ii(ddg, machine, fallback, ii) {
+                return Ok(ScheduleOutcome::new(
+                    ddg,
+                    schedule,
+                    mii,
+                    attempts,
+                    start.elapsed(),
+                    ordering_time,
+                ));
+            }
+            if ii >= max_ii {
+                return Err(SchedError::NoValidSchedule { max_ii_tried: ii });
+            }
+            ii += 1;
+        }
+    }
+}
+
+/// A topological-by-earliest-start order used as the robustness fallback of
+/// [`HrmsScheduler::schedule_loop`]: with it, every operation is placed after
+/// all of its intra-iteration predecessors, so only loop-carried constraints
+/// can close a placement window — and those always open up as the II grows.
+fn earliest_start_order(ddg: &Ddg, ii: u32) -> Vec<NodeId> {
+    let est = hrms_modsched::mii::earliest_starts(ddg, ii)
+        .unwrap_or_else(|| vec![0; ddg.num_nodes()]);
+    let mut order: Vec<NodeId> = ddg.node_ids().collect();
+    order.sort_by_key(|n| (est[n.index()], n.index()));
+    order
+}
+
+/// One pass of the scheduling step (Section 3.3) at a fixed II. Returns the
+/// schedule, or `None` if some node found no free slot (the caller then
+/// increases the II).
+pub fn schedule_at_ii(
+    ddg: &Ddg,
+    machine: &Machine,
+    order: &[NodeId],
+    ii: u32,
+) -> Option<Schedule> {
+    let mut partial = PartialSchedule::new(machine, ii);
+    for &u in order {
+        let early = partial.early_start(ddg, u);
+        let late = partial.late_start(ddg, u);
+        let placed = match (early, late) {
+            (Some(early), None) => partial.place_forward(ddg, machine, u, early, ii),
+            (None, Some(late)) => partial.place_backward(ddg, machine, u, late, ii),
+            (Some(early), Some(late)) => {
+                // The node closes a recurrence: it must land inside
+                // [early, late], and scanning more than II slots is useless.
+                if late < early {
+                    None
+                } else {
+                    let window = (late - early + 1).min(i64::from(ii)) as u32;
+                    partial.place_forward(ddg, machine, u, early, window)
+                }
+            }
+            (None, None) => partial.place_forward(ddg, machine, u, 0, ii),
+        };
+        if placed.is_none() {
+            return None;
+        }
+    }
+    Some(partial.into_schedule(ddg))
+}
+
+/// Convenience constructor for the "no pre-ordering" ablation scheduler.
+pub fn program_order_scheduler() -> HrmsScheduler {
+    HrmsScheduler::with_options(HrmsOptions {
+        ordering: OrderingMode::ProgramOrder,
+        ..HrmsOptions::default()
+    })
+}
+
+/// Total time of an outcome split into ordering and scheduling parts — a tiny
+/// helper used by the Section 4.2 phase-time report.
+pub fn phase_split(outcome: &ScheduleOutcome) -> (Duration, Duration) {
+    (
+        outcome.ordering_time,
+        outcome.elapsed.saturating_sub(outcome.ordering_time),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+    use hrms_machine::presets;
+    use hrms_modsched::{validate_schedule, LifetimeAnalysis};
+
+    /// The motivating example of the paper (Figure 1 / Section 2.1).
+    fn figure1() -> (Ddg, Vec<NodeId>) {
+        let mut b = DdgBuilder::new("fig1");
+        let names = ["A", "B", "C", "D", "E", "F", "G"];
+        let ids: Vec<NodeId> = names.iter().map(|n| b.node(*n, OpKind::Other, 2)).collect();
+        let e = |s: usize, t: usize, b: &mut DdgBuilder| {
+            b.edge(ids[s], ids[t], DepKind::RegFlow, 0).unwrap();
+        };
+        e(0, 1, &mut b);
+        e(1, 2, &mut b);
+        e(1, 3, &mut b);
+        e(3, 5, &mut b);
+        e(4, 5, &mut b);
+        e(5, 6, &mut b);
+        (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn motivating_example_matches_the_paper() {
+        // Section 2.1: MII = 2; HRMS places A@0, B@2, C@4, D@4, F@7, E@5,
+        // G@9 and the loop variants need 6 registers (6 live in row 0 and 5
+        // in row 1).
+        let (g, ids) = figure1();
+        let m = presets::general_purpose();
+        let outcome = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        assert_eq!(outcome.metrics.mii, 2);
+        assert_eq!(outcome.metrics.ii, 2);
+        let s = &outcome.schedule;
+        let cycles: Vec<i64> = ids.iter().map(|&n| s.cycle(n)).collect();
+        assert_eq!(cycles, vec![0, 2, 4, 4, 5, 7, 9]);
+        validate_schedule(&g, &m, s).unwrap();
+
+        let lt = LifetimeAnalysis::analyze(&g, s);
+        assert_eq!(lt.live_at_row(0), 6, "paper: 6 alive registers in the first row");
+        assert_eq!(lt.live_at_row(1), 5, "paper: 5 alive registers in the second row");
+        assert_eq!(lt.max_live(), 6);
+    }
+
+    #[test]
+    fn accumulator_recurrence_is_scheduled_at_mii() {
+        let mut b = DdgBuilder::new("acc");
+        let ld = b.node("ld", OpKind::Load, 2);
+        let mul = b.node("mul", OpKind::FpMul, 2);
+        let acc = b.node("acc", OpKind::FpAdd, 1);
+        let st = b.node("st", OpKind::Store, 1);
+        b.edge(ld, mul, DepKind::RegFlow, 0).unwrap();
+        b.edge(mul, acc, DepKind::RegFlow, 0).unwrap();
+        b.edge(acc, acc, DepKind::RegFlow, 1).unwrap();
+        b.edge(acc, st, DepKind::RegFlow, 0).unwrap();
+        let g = b.build().unwrap();
+        let m = presets::govindarajan();
+        let outcome = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        assert_eq!(outcome.metrics.ii, outcome.metrics.mii);
+        validate_schedule(&g, &m, &outcome.schedule).unwrap();
+    }
+
+    #[test]
+    fn recurrence_closing_node_lands_between_its_bounds() {
+        // x -> y -> z -> x (distance 1 on the back edge). Whatever the
+        // order, the node that closes the recurrence has both a scheduled
+        // predecessor and a scheduled successor.
+        let mut b = DdgBuilder::new("cycle3");
+        let x = b.node("x", OpKind::FpAdd, 1);
+        let y = b.node("y", OpKind::FpMul, 2);
+        let z = b.node("z", OpKind::FpAdd, 1);
+        b.edge(x, y, DepKind::RegFlow, 0).unwrap();
+        b.edge(y, z, DepKind::RegFlow, 0).unwrap();
+        b.edge(z, x, DepKind::RegFlow, 1).unwrap();
+        let g = b.build().unwrap();
+        let m = presets::govindarajan();
+        let outcome = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        assert_eq!(outcome.metrics.rec_mii, 4);
+        assert_eq!(outcome.metrics.ii, 4);
+        validate_schedule(&g, &m, &outcome.schedule).unwrap();
+    }
+
+    #[test]
+    fn ii_escalates_when_resources_are_scarce() {
+        // Five independent loads on a single load/store unit: MII = 5 is
+        // already resource-exact, but add a recurrence that forces conflicts
+        // between the recurrence window and the loads at low II.
+        let mut b = DdgBuilder::new("escalate");
+        let mut prev: Option<NodeId> = None;
+        for i in 0..5 {
+            let ld = b.node(format!("ld{i}"), OpKind::Load, 2);
+            if let Some(p) = prev {
+                b.edge(p, ld, DepKind::Memory, 0).unwrap();
+            }
+            prev = Some(ld);
+        }
+        let g = b.build().unwrap();
+        let m = presets::govindarajan();
+        let outcome = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        assert_eq!(outcome.metrics.ii, 5);
+        assert!(outcome.attempts >= 1);
+        validate_schedule(&g, &m, &outcome.schedule).unwrap();
+    }
+
+    #[test]
+    fn impossible_budget_reports_no_valid_schedule() {
+        let (g, _) = figure1();
+        let m = presets::general_purpose();
+        let scheduler = HrmsScheduler::with_options(HrmsOptions {
+            config: SchedulerConfig {
+                max_ii: Some(1), // below MII = 2 and never enough
+                ..SchedulerConfig::default()
+            },
+            ..HrmsOptions::default()
+        });
+        // With max_ii = 1 < MII the first attempt is at II = 2 > max_ii, so
+        // the scheduler fails after one attempt.
+        let err = scheduler.schedule_loop(&g, &m).unwrap_err();
+        assert!(matches!(err, SchedError::NoValidSchedule { .. }));
+    }
+
+    #[test]
+    fn zero_distance_cycles_are_rejected() {
+        let mut b = DdgBuilder::new("bad");
+        let a = b.node("a", OpKind::FpAdd, 1);
+        let c = b.node("c", OpKind::FpAdd, 1);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(c, a, DepKind::RegFlow, 0).unwrap();
+        let g = b.build().unwrap();
+        let err = HrmsScheduler::new()
+            .schedule_loop(&g, &presets::govindarajan())
+            .unwrap_err();
+        assert_eq!(err, SchedError::ZeroDistanceCycle);
+    }
+
+    #[test]
+    fn program_order_ablation_also_produces_valid_schedules() {
+        let (g, _) = figure1();
+        let m = presets::general_purpose();
+        let ablation = program_order_scheduler();
+        assert_eq!(ablation.name(), "HRMS-no-preorder");
+        let outcome = ablation.schedule_loop(&g, &m).unwrap();
+        validate_schedule(&g, &m, &outcome.schedule).unwrap();
+        // The ablation may or may not use more registers on this tiny graph,
+        // but it must never beat HRMS's II here.
+        let hrms = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        assert!(hrms.metrics.ii <= outcome.metrics.ii);
+    }
+
+    #[test]
+    fn hrms_uses_fewer_registers_than_program_order_on_a_stretchy_graph() {
+        // A graph designed to punish orderings that place source nodes too
+        // early: many independent producers feeding one late consumer chain.
+        let mut b = DdgBuilder::new("stretchy");
+        let mut chain_prev = None;
+        let mut chain_nodes = Vec::new();
+        for i in 0..6 {
+            let n = b.node(format!("chain{i}"), OpKind::FpAdd, 2);
+            if let Some(p) = chain_prev {
+                b.edge(p, n, DepKind::RegFlow, 0).unwrap();
+            }
+            chain_prev = Some(n);
+            chain_nodes.push(n);
+        }
+        for i in 0..6 {
+            let src = b.node(format!("src{i}"), OpKind::Load, 2);
+            b.edge(src, chain_nodes[i], DepKind::RegFlow, 0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let m = presets::perfect_club();
+        let hrms = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        let ablation = program_order_scheduler().schedule_loop(&g, &m).unwrap();
+        validate_schedule(&g, &m, &hrms.schedule).unwrap();
+        validate_schedule(&g, &m, &ablation.schedule).unwrap();
+        assert!(
+            hrms.metrics.max_live <= ablation.metrics.max_live,
+            "hypernode ordering should not need more registers ({} vs {})",
+            hrms.metrics.max_live,
+            ablation.metrics.max_live
+        );
+    }
+
+    #[test]
+    fn ordering_time_is_part_of_the_outcome() {
+        let (g, _) = figure1();
+        let outcome = HrmsScheduler::new()
+            .schedule_loop(&g, &presets::general_purpose())
+            .unwrap();
+        let (ordering, scheduling) = phase_split(&outcome);
+        assert!(ordering <= outcome.elapsed);
+        assert!(scheduling <= outcome.elapsed);
+    }
+
+    #[test]
+    fn single_node_loop_schedules_at_ii_one() {
+        let mut b = DdgBuilder::new("single");
+        b.node("only", OpKind::FpAdd, 1);
+        let g = b.build().unwrap();
+        let outcome = HrmsScheduler::new()
+            .schedule_loop(&g, &presets::govindarajan())
+            .unwrap();
+        assert_eq!(outcome.metrics.ii, 1);
+        assert_eq!(outcome.schedule.cycle(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn larger_random_style_graph_is_scheduled_and_valid() {
+        // A deterministic but irregular graph exercising all placement
+        // branches (preds only, succs only, both, neither).
+        let mut b = DdgBuilder::new("irregular");
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            let kind = match i % 5 {
+                0 => OpKind::Load,
+                1 => OpKind::FpMul,
+                2 => OpKind::FpAdd,
+                3 => OpKind::FpDiv,
+                _ => OpKind::Store,
+            };
+            let lat = match kind {
+                OpKind::Load | OpKind::FpMul => 2,
+                OpKind::FpDiv => 17,
+                _ => 1,
+            };
+            ids.push(b.node(format!("n{i}"), kind, lat));
+        }
+        for i in 0..15 {
+            // Stores produce no value, so dependences leaving them are
+            // memory-ordering edges.
+            let kind = |src: usize| {
+                if src % 5 == 4 {
+                    DepKind::Memory
+                } else {
+                    DepKind::RegFlow
+                }
+            };
+            b.edge(ids[i], ids[i + 3], kind(i), 0).unwrap();
+            if i % 4 == 0 {
+                b.edge(ids[i + 3], ids[i], kind(i + 3), 2).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        let m = presets::govindarajan();
+        let outcome = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        validate_schedule(&g, &m, &outcome.schedule).unwrap();
+        assert!(outcome.metrics.ii >= outcome.metrics.mii);
+    }
+}

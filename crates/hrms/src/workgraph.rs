@@ -1,0 +1,410 @@
+//! The mutable working graph on which hypernode reduction operates.
+
+use std::collections::{BTreeSet, HashMap};
+
+use hrms_ddg::{Ddg, GraphView, NodeId};
+
+/// A mutable directed graph over a subset of a [`Ddg`]'s nodes, supporting
+/// the *hypernode reduction* operation of the paper (Section 3.1):
+///
+/// > The reduction of a set of nodes to the Hypernode consists of deleting
+/// > the set of edges among the nodes of the set and the Hypernode, replacing
+/// > the edges between the rest of the nodes and the reduced set of nodes by
+/// > edges between the rest of the nodes and the Hypernode, and finally
+/// > deleting the set of nodes being reduced.
+///
+/// The hypernode is identified by the node id it started from; after a
+/// reduction the reduced nodes disappear from the graph and their external
+/// edges are re-attached to the hypernode. Parallel edges collapse (the
+/// pre-ordering only needs adjacency, not multiplicity), and dependence
+/// distances are irrelevant here — the work graph is built with the backward
+/// edges of every recurrence already removed, so it is acyclic.
+#[derive(Debug, Clone)]
+pub struct WorkGraph {
+    /// Successor sets, keyed by live node. `BTreeSet` keeps traversal
+    /// deterministic.
+    succs: HashMap<NodeId, BTreeSet<NodeId>>,
+    /// Predecessor sets, keyed by live node.
+    preds: HashMap<NodeId, BTreeSet<NodeId>>,
+    /// Upper bound on node ids (from the original graph).
+    bound: usize,
+}
+
+impl WorkGraph {
+    /// Builds a work graph containing `members` and every edge of `ddg`
+    /// whose endpoints are both in `members`, **excluding** the edges listed
+    /// in `dropped_edges` (the backward edges of recurrence circuits) and
+    /// self-loops.
+    pub fn new(
+        ddg: &Ddg,
+        members: &[NodeId],
+        dropped_edges: &std::collections::HashSet<hrms_ddg::EdgeId>,
+    ) -> Self {
+        let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+        let mut succs: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        let mut preds: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        for &m in &member_set {
+            succs.insert(m, BTreeSet::new());
+            preds.insert(m, BTreeSet::new());
+        }
+        for (eid, e) in ddg.edges() {
+            if dropped_edges.contains(&eid) || e.is_self_loop() {
+                continue;
+            }
+            let (s, t) = (e.source(), e.target());
+            if member_set.contains(&s) && member_set.contains(&t) {
+                succs.get_mut(&s).expect("member").insert(t);
+                preds.get_mut(&t).expect("member").insert(s);
+            }
+        }
+        WorkGraph {
+            succs,
+            preds,
+            bound: ddg.num_nodes(),
+        }
+    }
+
+    /// Number of nodes still present.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The live nodes, in ascending id order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.succs.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Reduces `set` into the hypernode `h`: every member of `set` is
+    /// removed, its edges to/from `h` (or other members) are deleted, and
+    /// its edges to/from the rest of the graph are re-attached to `h`.
+    ///
+    /// Nodes of `set` that are not (or no longer) present are ignored; `h`
+    /// itself is never removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not present in the graph.
+    pub fn reduce(&mut self, set: &[NodeId], h: NodeId) {
+        assert!(
+            self.succs.contains_key(&h),
+            "hypernode {h} is not in the work graph"
+        );
+        let victims: BTreeSet<NodeId> = set
+            .iter()
+            .copied()
+            .filter(|&v| v != h && self.succs.contains_key(&v))
+            .collect();
+        for &v in &victims {
+            let out = self.succs.remove(&v).unwrap_or_default();
+            let inc = self.preds.remove(&v).unwrap_or_default();
+            for t in out {
+                if let Some(p) = self.preds.get_mut(&t) {
+                    p.remove(&v);
+                }
+                if t == h || victims.contains(&t) {
+                    continue;
+                }
+                // redirect v -> t into h -> t
+                self.succs.get_mut(&h).expect("h present").insert(t);
+                self.preds.get_mut(&t).expect("t present").insert(h);
+            }
+            for s in inc {
+                if let Some(sset) = self.succs.get_mut(&s) {
+                    sset.remove(&v);
+                }
+                if s == h || victims.contains(&s) {
+                    continue;
+                }
+                // redirect s -> v into s -> h
+                self.succs.get_mut(&s).expect("s present").insert(h);
+                self.preds.get_mut(&h).expect("h present").insert(s);
+            }
+        }
+        // Drop any edge between h and itself that redirection may have
+        // introduced.
+        self.succs.get_mut(&h).expect("h present").remove(&h);
+        self.preds.get_mut(&h).expect("h present").remove(&h);
+    }
+
+    /// Ensures `extra` is present (used when connecting a disconnected
+    /// recurrence subgraph to the hypernode): inserts it with no edges if it
+    /// was absent. Returns whether it was inserted.
+    pub fn ensure_node(&mut self, extra: NodeId) -> bool {
+        if self.succs.contains_key(&extra) {
+            return false;
+        }
+        self.succs.insert(extra, BTreeSet::new());
+        self.preds.insert(extra, BTreeSet::new());
+        true
+    }
+
+    /// A read-only view of this graph that hides one node (the hypernode);
+    /// used by the path search so that paths running *through* the hypernode
+    /// are not reported.
+    pub fn without(&self, hidden: NodeId) -> HiddenNodeView<'_> {
+        HiddenNodeView { graph: self, hidden }
+    }
+
+    /// A new work graph containing only `members` (those of them currently
+    /// present) and the edges of this graph whose endpoints are both kept.
+    ///
+    /// This implements the paper's `Generate_Subgraph(V', G)`: the
+    /// recurrence-ordering procedure extracts the subgraph spanned by the
+    /// hypernode, the next recurrence circuit and the paths connecting them,
+    /// orders it in isolation, and then reduces it in the main graph.
+    pub fn restricted(&self, members: &BTreeSet<NodeId>) -> WorkGraph {
+        let mut succs: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        let mut preds: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        for &m in members {
+            if !self.succs.contains_key(&m) {
+                continue;
+            }
+            succs.insert(
+                m,
+                self.succs[&m]
+                    .iter()
+                    .copied()
+                    .filter(|t| members.contains(t))
+                    .collect(),
+            );
+            preds.insert(
+                m,
+                self.preds[&m]
+                    .iter()
+                    .copied()
+                    .filter(|s| members.contains(s))
+                    .collect(),
+            );
+        }
+        WorkGraph {
+            succs,
+            preds,
+            bound: self.bound,
+        }
+    }
+}
+
+impl GraphView for WorkGraph {
+    fn node_bound(&self) -> usize {
+        self.bound
+    }
+
+    fn contains(&self, n: NodeId) -> bool {
+        self.succs.contains_key(&n)
+    }
+
+    fn successors_of(&self, n: NodeId) -> Vec<NodeId> {
+        self.succs
+            .get(&n)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn predecessors_of(&self, n: NodeId) -> Vec<NodeId> {
+        self.preds
+            .get(&n)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A [`GraphView`] over a [`WorkGraph`] with one node hidden.
+#[derive(Debug, Clone, Copy)]
+pub struct HiddenNodeView<'a> {
+    graph: &'a WorkGraph,
+    hidden: NodeId,
+}
+
+impl GraphView for HiddenNodeView<'_> {
+    fn node_bound(&self) -> usize {
+        self.graph.node_bound()
+    }
+
+    fn contains(&self, n: NodeId) -> bool {
+        n != self.hidden && self.graph.contains(n)
+    }
+
+    fn successors_of(&self, n: NodeId) -> Vec<NodeId> {
+        if n == self.hidden {
+            return Vec::new();
+        }
+        self.graph
+            .successors_of(n)
+            .into_iter()
+            .filter(|&s| s != self.hidden)
+            .collect()
+    }
+
+    fn predecessors_of(&self, n: NodeId) -> Vec<NodeId> {
+        if n == self.hidden {
+            return Vec::new();
+        }
+        self.graph
+            .predecessors_of(n)
+            .into_iter()
+            .filter(|&s| s != self.hidden)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+    use std::collections::HashSet;
+
+    /// a -> b -> c, a -> c
+    fn triangle() -> (Ddg, Vec<NodeId>) {
+        let mut bld = DdgBuilder::new("t");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        let c = bld.node("c", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, c, DepKind::RegFlow, 0).unwrap();
+        bld.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        let g = bld.build().unwrap();
+        (g, vec![a, b, c])
+    }
+
+    #[test]
+    fn construction_restricts_to_members() {
+        let (g, ids) = triangle();
+        let wg = WorkGraph::new(&g, &[ids[0], ids[1]], &HashSet::new());
+        assert_eq!(wg.len(), 2);
+        assert_eq!(wg.successors_of(ids[0]), vec![ids[1]]);
+        assert!(wg.successors_of(ids[1]).is_empty(), "edge to c is outside");
+        assert!(!wg.contains(ids[2]));
+    }
+
+    #[test]
+    fn dropped_edges_are_excluded() {
+        let (g, ids) = triangle();
+        let drop: HashSet<_> = g
+            .edges()
+            .filter(|(_, e)| e.source() == ids[0] && e.target() == ids[2])
+            .map(|(eid, _)| eid)
+            .collect();
+        let wg = WorkGraph::new(&g, &ids, &drop);
+        assert_eq!(wg.successors_of(ids[0]), vec![ids[1]]);
+        assert_eq!(wg.predecessors_of(ids[2]), vec![ids[1]]);
+    }
+
+    #[test]
+    fn self_loops_never_appear() {
+        let mut bld = DdgBuilder::new("s");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        bld.edge(a, a, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let wg = WorkGraph::new(&g, &[a], &HashSet::new());
+        assert!(wg.successors_of(a).is_empty());
+        assert!(wg.predecessors_of(a).is_empty());
+    }
+
+    #[test]
+    fn reduce_redirects_external_edges() {
+        // a -> b -> c with hypernode a: reducing {b} must leave a -> c.
+        let (g, ids) = triangle();
+        let mut wg = WorkGraph::new(&g, &ids, &HashSet::new());
+        wg.reduce(&[ids[1]], ids[0]);
+        assert_eq!(wg.len(), 2);
+        assert_eq!(wg.successors_of(ids[0]), vec![ids[2]]);
+        assert_eq!(wg.predecessors_of(ids[2]), vec![ids[0]]);
+        assert!(!wg.contains(ids[1]));
+    }
+
+    #[test]
+    fn reduce_from_the_other_side() {
+        // Hypernode c: reducing {b} must produce a -> c (already present) and
+        // drop b entirely.
+        let (g, ids) = triangle();
+        let mut wg = WorkGraph::new(&g, &ids, &HashSet::new());
+        wg.reduce(&[ids[1]], ids[2]);
+        assert_eq!(wg.successors_of(ids[0]), vec![ids[2]]);
+        assert_eq!(wg.predecessors_of(ids[2]), vec![ids[0]]);
+    }
+
+    #[test]
+    fn reduce_never_creates_hypernode_self_loop() {
+        let (g, ids) = triangle();
+        let mut wg = WorkGraph::new(&g, &ids, &HashSet::new());
+        // Reducing both b and c into a leaves a alone with no self edges.
+        wg.reduce(&[ids[1], ids[2]], ids[0]);
+        assert_eq!(wg.len(), 1);
+        assert!(wg.successors_of(ids[0]).is_empty());
+        assert!(wg.predecessors_of(ids[0]).is_empty());
+    }
+
+    #[test]
+    fn reduce_ignores_absent_nodes_and_hypernode_itself() {
+        let (g, ids) = triangle();
+        let mut wg = WorkGraph::new(&g, &ids, &HashSet::new());
+        wg.reduce(&[ids[1]], ids[0]);
+        // Reducing b again (already gone) and a (the hypernode) is a no-op.
+        wg.reduce(&[ids[1], ids[0]], ids[0]);
+        assert_eq!(wg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the work graph")]
+    fn reduce_panics_without_hypernode() {
+        let (g, ids) = triangle();
+        let mut wg = WorkGraph::new(&g, &[ids[0], ids[1]], &HashSet::new());
+        wg.reduce(&[ids[1]], ids[2]);
+    }
+
+    #[test]
+    fn hidden_view_skips_the_hypernode() {
+        let (g, ids) = triangle();
+        let wg = WorkGraph::new(&g, &ids, &HashSet::new());
+        let view = wg.without(ids[1]);
+        assert!(!view.contains(ids[1]));
+        assert!(view.successors_of(ids[0]).contains(&ids[2]));
+        assert!(!view.successors_of(ids[0]).contains(&ids[1]));
+        assert!(view.successors_of(ids[1]).is_empty());
+        assert_eq!(view.predecessors_of(ids[2]), vec![ids[0]]);
+    }
+
+    #[test]
+    fn ensure_node_inserts_isolated_nodes() {
+        let (g, ids) = triangle();
+        let mut wg = WorkGraph::new(&g, &[ids[0]], &HashSet::new());
+        assert!(wg.ensure_node(ids[2]));
+        assert!(!wg.ensure_node(ids[2]));
+        assert!(wg.contains(ids[2]));
+        assert!(wg.successors_of(ids[2]).is_empty());
+    }
+
+    #[test]
+    fn figure7_style_chain_of_reductions() {
+        // Mirrors the shape of the paper's Figure 7 walk-through on a small
+        // graph: successively reducing neighbours into the hypernode keeps
+        // exposing the next layer.
+        let mut bld = DdgBuilder::new("f");
+        let a = bld.node("A", OpKind::FpAdd, 1);
+        let c = bld.node("C", OpKind::FpAdd, 1);
+        let g_ = bld.node("G", OpKind::FpAdd, 1);
+        let h = bld.node("H", OpKind::FpAdd, 1);
+        let d = bld.node("D", OpKind::FpAdd, 1);
+        bld.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        bld.edge(c, g_, DepKind::RegFlow, 0).unwrap();
+        bld.edge(c, h, DepKind::RegFlow, 0).unwrap();
+        bld.edge(d, h, DepKind::RegFlow, 0).unwrap();
+        let g = bld.build().unwrap();
+        let mut wg = WorkGraph::new(&g, &g.node_ids().collect::<Vec<_>>(), &HashSet::new());
+
+        assert_eq!(wg.successors_of(a), vec![c]);
+        wg.reduce(&[c], a);
+        assert_eq!(wg.successors_of(a), vec![g_, h]);
+        wg.reduce(&[g_, h], a);
+        assert_eq!(wg.predecessors_of(a), vec![d]);
+        wg.reduce(&[d], a);
+        assert_eq!(wg.len(), 1);
+    }
+}

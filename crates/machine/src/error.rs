@@ -1,0 +1,71 @@
+//! Error type for machine-description construction.
+
+use std::error::Error;
+use std::fmt;
+
+use hrms_ddg::OpKind;
+
+/// Errors produced while building a [`crate::Machine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// The machine has no functional-unit class at all.
+    NoResources,
+    /// A resource class was declared with a replication count of zero.
+    EmptyClass {
+        /// Name of the class.
+        name: String,
+    },
+    /// An operation kind is not mapped to any resource class.
+    UnmappedOp {
+        /// The unmapped kind.
+        kind: OpKind,
+    },
+    /// An operation kind was assigned latency zero.
+    ZeroLatency {
+        /// The offending kind.
+        kind: OpKind,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::NoResources => write!(f, "machine has no functional units"),
+            MachineError::EmptyClass { name } => {
+                write!(f, "functional-unit class `{name}` has zero units")
+            }
+            MachineError::UnmappedOp { kind } => {
+                write!(f, "operation kind `{kind}` is not mapped to any functional unit")
+            }
+            MachineError::ZeroLatency { kind } => {
+                write!(f, "operation kind `{kind}` was assigned latency zero")
+            }
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_subject() {
+        assert!(MachineError::UnmappedOp { kind: OpKind::FpDiv }
+            .to_string()
+            .contains("fdiv"));
+        assert!(MachineError::EmptyClass {
+            name: "adders".into()
+        }
+        .to_string()
+        .contains("adders"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync>() {}
+        takes_err::<MachineError>();
+    }
+}

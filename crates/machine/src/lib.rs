@@ -1,0 +1,98 @@
+//! Machine descriptions for the HRMS modulo-scheduling reproduction.
+//!
+//! A [`Machine`] describes the execution resources of the target processor:
+//! a set of [`ResourceClass`]es (functional-unit groups with a replication
+//! count and a pipelining flag), a mapping from [`hrms_ddg::OpKind`] to the
+//! class that executes it, and per-kind latencies.
+//!
+//! Three preset machines mirror the configurations used in the paper:
+//!
+//! * [`presets::general_purpose`] — Section 2.1's motivating-example machine:
+//!   4 fully-pipelined general-purpose units, every operation has latency 2.
+//! * [`presets::govindarajan`] — Section 4.1 / Table 1: 1 FP adder, 1 FP
+//!   multiplier, 1 FP divider, 1 load/store unit; add/sub/store latency 1,
+//!   mul/load latency 2, div latency 17.
+//! * [`presets::perfect_club`] — Section 4.2: 2 load/store units, 2 adders,
+//!   2 multipliers and 2 non-pipelined div/sqrt units; store latency 1, load
+//!   2, add/mul 4, div 17, sqrt 30.
+//!
+//! # Example
+//!
+//! ```
+//! use hrms_machine::presets;
+//! use hrms_ddg::OpKind;
+//!
+//! let m = presets::govindarajan();
+//! assert_eq!(m.latency_of(OpKind::FpDiv), 17);
+//! assert_eq!(m.class_of(OpKind::Load), m.class_of(OpKind::Store));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod machine;
+pub mod presets;
+pub mod resmii;
+
+pub use error::MachineError;
+pub use machine::{ClassId, Machine, MachineBuilder, ResourceClass};
+pub use resmii::res_mii;
+
+use hrms_ddg::{Ddg, DdgBuilder};
+
+/// Rebuilds `ddg` with every node's latency replaced by the machine's
+/// latency for its operation kind.
+///
+/// Workload graphs are often defined once and then scheduled for several
+/// machine configurations; this helper keeps the graph description and the
+/// timing model separate.
+///
+/// # Errors
+///
+/// Propagates [`hrms_ddg::DdgError`] if the rebuilt graph is invalid (this
+/// can only happen if the machine assigns a zero latency, which
+/// [`MachineBuilder`] rejects).
+pub fn apply_latencies(machine: &Machine, ddg: &Ddg) -> Result<Ddg, hrms_ddg::DdgError> {
+    let mut b = DdgBuilder::new(ddg.name());
+    for (_, node) in ddg.nodes() {
+        let id = if node.defines_value() {
+            b.node(node.name(), node.kind(), machine.latency_of(node.kind()))
+        } else {
+            b.node_no_result(node.name(), node.kind(), machine.latency_of(node.kind()))
+        };
+        b.node_invariant_uses(id, node.invariant_uses());
+    }
+    for (_, e) in ddg.edges() {
+        b.edge(e.source(), e.target(), e.kind(), e.distance())?;
+    }
+    b.invariants(ddg.num_invariants());
+    b.iteration_count(ddg.iteration_count());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DepKind, OpKind};
+
+    #[test]
+    fn apply_latencies_rewrites_nodes() {
+        let mut b = DdgBuilder::new("g");
+        let a = b.node("a", OpKind::FpAdd, 99);
+        let s = b.node("s", OpKind::Store, 99);
+        b.edge(a, s, DepKind::RegFlow, 0).unwrap();
+        b.invariants(2);
+        b.iteration_count(7);
+        let g = b.build().unwrap();
+
+        let m = presets::perfect_club();
+        let g2 = apply_latencies(&m, &g).unwrap();
+        assert_eq!(g2.node(a).latency(), 4);
+        assert_eq!(g2.node(s).latency(), 1);
+        assert_eq!(g2.num_edges(), 1);
+        assert_eq!(g2.num_invariants(), 2);
+        assert_eq!(g2.iteration_count(), 7);
+        assert!(!g2.node(s).defines_value());
+    }
+}

@@ -1,0 +1,93 @@
+//! Resource-constrained lower bound on the initiation interval (`ResMII`).
+
+use hrms_ddg::Ddg;
+
+use crate::machine::Machine;
+
+/// Computes the resource-constrained minimum initiation interval of `ddg` on
+/// `machine`.
+///
+/// For each functional-unit class the total occupancy of the loop body
+/// (1 cycle per operation on pipelined classes, the full latency on
+/// non-pipelined classes) is divided by the number of units and rounded up;
+/// `ResMII` is the maximum over all classes:
+///
+/// ```text
+/// ResMII = max_c ceil( Σ_{op mapped to c} occupancy(op) / count(c) )
+/// ```
+///
+/// The motivating example of the paper (7 operations on 4 general-purpose
+/// units) yields `ResMII = ceil(7/4) = 2`.
+pub fn res_mii(ddg: &Ddg, machine: &Machine) -> u32 {
+    let mut occupancy = vec![0u64; machine.num_classes()];
+    for (_, node) in ddg.nodes() {
+        let class = machine.class_of(node.kind());
+        occupancy[class.index()] += u64::from(machine.occupancy_of(node.kind()));
+    }
+    let mut res = 0u64;
+    for (i, class) in machine.classes().iter().enumerate() {
+        let bound = occupancy[i].div_ceil(u64::from(class.count));
+        res = res.max(bound);
+    }
+    res.max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use hrms_ddg::{DdgBuilder, OpKind};
+
+    #[test]
+    fn seven_ops_on_four_units_give_res_mii_two() {
+        // The paper's motivating example: MII = ceil(7/4) = 2.
+        let mut b = DdgBuilder::new("seven");
+        for i in 0..7 {
+            b.node(format!("op{i}"), OpKind::FpAdd, 2);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(res_mii(&g, &presets::general_purpose()), 2);
+    }
+
+    #[test]
+    fn bottleneck_class_determines_res_mii() {
+        // 3 loads and 1 add on the Govindarajan machine: the single
+        // load/store unit is the bottleneck.
+        let mut b = DdgBuilder::new("loads");
+        for i in 0..3 {
+            b.node(format!("ld{i}"), OpKind::Load, 2);
+        }
+        b.node("add", OpKind::FpAdd, 1);
+        let g = b.build().unwrap();
+        assert_eq!(res_mii(&g, &presets::govindarajan()), 3);
+    }
+
+    #[test]
+    fn non_pipelined_units_count_full_latency() {
+        // 1 division on the perfect-club machine occupies one of the two
+        // non-pipelined div/sqrt units for 17 cycles -> ceil(17/2) = 9.
+        let mut b = DdgBuilder::new("div");
+        b.node("div", OpKind::FpDiv, 17);
+        let g = b.build().unwrap();
+        assert_eq!(res_mii(&g, &presets::perfect_club()), 9);
+    }
+
+    #[test]
+    fn res_mii_is_at_least_one() {
+        let mut b = DdgBuilder::new("single");
+        b.node("add", OpKind::FpAdd, 1);
+        let g = b.build().unwrap();
+        assert_eq!(res_mii(&g, &presets::perfect_club()), 1);
+    }
+
+    #[test]
+    fn pipelined_divider_counts_single_cycle() {
+        // On the Govindarajan machine the divider is pipelined: 2 divisions
+        // need only 2 issue slots on it.
+        let mut b = DdgBuilder::new("divs");
+        b.node("div0", OpKind::FpDiv, 17);
+        b.node("div1", OpKind::FpDiv, 17);
+        let g = b.build().unwrap();
+        assert_eq!(res_mii(&g, &presets::govindarajan()), 2);
+    }
+}

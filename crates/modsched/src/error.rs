@@ -1,0 +1,90 @@
+//! Error type shared by all schedulers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by MII computation and by the schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The loop body contains a dependence cycle whose total distance is
+    /// zero: the single-iteration body itself is cyclic, which no schedule
+    /// can satisfy.
+    ZeroDistanceCycle,
+    /// No valid schedule was found for any initiation interval up to
+    /// `max_ii_tried`.
+    NoValidSchedule {
+        /// The largest II attempted before giving up.
+        max_ii_tried: u32,
+    },
+    /// A scheduler-specific budget (backtracking steps, branch-and-bound
+    /// nodes, wall-clock time) was exhausted before a schedule was found.
+    BudgetExhausted {
+        /// Description of the exhausted budget.
+        what: String,
+    },
+    /// The graph propagated an error from the `hrms-ddg` crate (e.g. an
+    /// empty loop body).
+    Graph(hrms_ddg::DdgError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::ZeroDistanceCycle => {
+                write!(f, "loop body contains a zero-distance dependence cycle")
+            }
+            SchedError::NoValidSchedule { max_ii_tried } => {
+                write!(f, "no valid schedule found for any II up to {max_ii_tried}")
+            }
+            SchedError::BudgetExhausted { what } => {
+                write!(f, "scheduling budget exhausted: {what}")
+            }
+            SchedError::Graph(e) => write!(f, "invalid dependence graph: {e}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hrms_ddg::DdgError> for SchedError {
+    fn from(e: hrms_ddg::DdgError) -> Self {
+        SchedError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SchedError::NoValidSchedule { max_ii_tried: 64 };
+        assert!(e.to_string().contains("64"));
+        let e = SchedError::BudgetExhausted {
+            what: "10000 branch-and-bound nodes".into(),
+        };
+        assert!(e.to_string().contains("branch-and-bound"));
+    }
+
+    #[test]
+    fn graph_errors_are_wrapped_with_source() {
+        let inner = hrms_ddg::DdgError::EmptyGraph;
+        let e = SchedError::from(inner.clone());
+        assert_eq!(e, SchedError::Graph(inner));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<SchedError>();
+    }
+}

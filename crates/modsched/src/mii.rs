@@ -1,0 +1,386 @@
+//! Minimum initiation interval: `MII = max(ResMII, RecMII)`.
+
+use hrms_ddg::{Ddg, DepKind, Edge, NodeId};
+use hrms_machine::{res_mii, Machine};
+
+use crate::error::SchedError;
+
+/// The latency enforced along a dependence edge: the number of cycles that
+/// must elapse between the issue of the source and the issue of the target
+/// (before accounting for the `δ·II` slack of loop-carried dependences).
+///
+/// Register flow, memory and control dependences wait for the producer to
+/// complete (`λ(u)` cycles). Anti and output register dependences only
+/// require issue order (1 cycle): the consumer of an anti-dependence reads
+/// the old value at issue time, so the new definition merely has to be
+/// issued later.
+pub fn dependence_latency(ddg: &Ddg, edge: &Edge) -> u32 {
+    match edge.kind() {
+        DepKind::RegAnti | DepKind::RegOutput => 1,
+        // RegFlow, Memory, Control and any future dependence kind wait for
+        // the producer to complete.
+        _ => ddg.node(edge.source()).latency(),
+    }
+}
+
+/// The three lower bounds on the initiation interval of a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiiInfo {
+    /// Resource-constrained bound.
+    pub res_mii: u32,
+    /// Recurrence-constrained bound (0 when the loop has no recurrence).
+    pub rec_mii: u32,
+}
+
+impl MiiInfo {
+    /// Computes both bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::ZeroDistanceCycle`] if the loop body contains a
+    /// dependence cycle of total distance zero.
+    pub fn compute(ddg: &Ddg, machine: &Machine) -> Result<Self, SchedError> {
+        let res = res_mii(ddg, machine);
+        let rec = rec_mii(ddg)?;
+        Ok(MiiInfo {
+            res_mii: res,
+            rec_mii: rec,
+        })
+    }
+
+    /// The minimum initiation interval `max(ResMII, RecMII)` (at least 1).
+    pub fn mii(&self) -> u32 {
+        self.res_mii.max(self.rec_mii).max(1)
+    }
+
+    /// Whether the loop is recurrence-bound (its recurrences are more
+    /// restrictive than its resource usage).
+    pub fn recurrence_bound(&self) -> bool {
+        self.rec_mii > self.res_mii
+    }
+}
+
+/// Computes the exact recurrence-constrained minimum initiation interval.
+///
+/// `RecMII` is the smallest II for which the dependence constraints
+/// `t(v) ≥ t(u) + latency(u,v) − δ(u,v)·II` admit a solution, i.e. the
+/// smallest II such that no dependence cycle has positive total weight when
+/// each edge weighs `latency − δ·II`. We find it by binary search on II,
+/// using a Bellman-Ford longest-path pass for the positive-cycle check; this
+/// is exact and does not rely on enumerating every elementary circuit.
+///
+/// Returns 0 for acyclic graphs.
+///
+/// # Errors
+///
+/// Returns [`SchedError::ZeroDistanceCycle`] if a cycle of distance zero
+/// exists (the constraint system is infeasible for every II).
+pub fn rec_mii(ddg: &Ddg) -> Result<u32, SchedError> {
+    // Upper bound: the sum of all dependence latencies is always feasible
+    // (every circuit has distance >= 1 once zero-distance cycles are ruled
+    // out, and its latency sum is <= this bound).
+    let upper: u64 = ddg
+        .edges()
+        .map(|(_, e)| u64::from(dependence_latency(ddg, e)))
+        .sum::<u64>()
+        .max(1);
+
+    if !has_positive_cycle(ddg, upper) {
+        // Check feasibility at II = upper; if even that fails there must be a
+        // zero-distance cycle (weight stays positive for arbitrarily large
+        // II only when the cycle distance is 0).
+        let mut lo = 0u64; // known-infeasible (or "no constraint" level)
+        let mut hi = upper; // known-feasible
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if has_positive_cycle(ddg, mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // hi is the smallest feasible II; if even II = 1 is feasible and the
+        // graph is acyclic we report 0 (no recurrence constraint).
+        if hi == 1 && !has_positive_cycle(ddg, 0) {
+            // II = 0 feasible means no cycle imposes anything: acyclic.
+            return Ok(0);
+        }
+        Ok(hi as u32)
+    } else {
+        Err(SchedError::ZeroDistanceCycle)
+    }
+}
+
+/// Whether the constraint graph with edge weights `latency − δ·II` contains
+/// a positive-weight cycle (which makes the given II infeasible).
+fn has_positive_cycle(ddg: &Ddg, ii: u64) -> bool {
+    let n = ddg.num_nodes();
+    if n == 0 {
+        return false;
+    }
+    // Longest-path Bellman-Ford from a virtual source connected to every
+    // node with weight 0. dist[] can only increase; if it still increases
+    // after n iterations there is a positive cycle.
+    let mut dist = vec![0i64; n];
+    let edges: Vec<(usize, usize, i64)> = ddg
+        .edges()
+        .map(|(_, e)| {
+            let w = i64::from(dependence_latency(ddg, e)) - (e.distance() as i64) * (ii as i64);
+            (e.source().index(), e.target().index(), w)
+        })
+        .collect();
+    for round in 0..n {
+        let mut changed = false;
+        for &(u, v, w) in &edges {
+            if dist[u] + w > dist[v] {
+                dist[v] = dist[u] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if round == n - 1 && changed {
+            return true;
+        }
+    }
+    false
+}
+
+/// Latency-weighted earliest start times for a *given* II, ignoring
+/// resources: the longest-path solution of the dependence constraints. Used
+/// by the baseline schedulers as priorities and by the slack computation.
+///
+/// Returns `None` if the constraints are infeasible at this II (i.e. `ii <
+/// RecMII`).
+pub fn earliest_starts(ddg: &Ddg, ii: u32) -> Option<Vec<i64>> {
+    let n = ddg.num_nodes();
+    let mut dist = vec![0i64; n];
+    let edges: Vec<(usize, usize, i64)> = ddg
+        .edges()
+        .map(|(_, e)| {
+            let w = i64::from(dependence_latency(ddg, e)) - (e.distance() as i64) * i64::from(ii);
+            (e.source().index(), e.target().index(), w)
+        })
+        .collect();
+    for round in 0..=n {
+        let mut changed = false;
+        for &(u, v, w) in &edges {
+            if dist[u] + w > dist[v] {
+                dist[v] = dist[u] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(dist);
+        }
+        if round == n {
+            return None;
+        }
+    }
+    Some(dist)
+}
+
+/// Latest start times relative to the critical-path length `horizon`, for a
+/// given II, ignoring resources. `latest[v]` is the largest start cycle of
+/// `v` such that every transitive successor can still finish by `horizon`.
+///
+/// Returns `None` if the constraints are infeasible at this II.
+pub fn latest_starts(ddg: &Ddg, ii: u32, horizon: i64) -> Option<Vec<i64>> {
+    let n = ddg.num_nodes();
+    let mut dist = vec![horizon; n];
+    let edges: Vec<(usize, usize, i64)> = ddg
+        .edges()
+        .map(|(_, e)| {
+            let w = i64::from(dependence_latency(ddg, e)) - (e.distance() as i64) * i64::from(ii);
+            (e.source().index(), e.target().index(), w)
+        })
+        .collect();
+    for round in 0..=n {
+        let mut changed = false;
+        for &(u, v, w) in &edges {
+            if dist[v] - w < dist[u] {
+                dist[u] = dist[v] - w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(dist);
+        }
+        if round == n {
+            return None;
+        }
+    }
+    Some(dist)
+}
+
+/// Convenience: the set of nodes whose earliest and latest start coincide at
+/// `ii` (zero slack), i.e. the nodes on the binding recurrence/critical
+/// path.
+pub fn zero_slack_nodes(ddg: &Ddg, ii: u32) -> Vec<NodeId> {
+    let Some(early) = earliest_starts(ddg, ii) else {
+        return Vec::new();
+    };
+    let horizon = early.iter().copied().max().unwrap_or(0)
+        + ddg
+            .nodes()
+            .map(|(_, n)| i64::from(n.latency()))
+            .max()
+            .unwrap_or(0);
+    let Some(late) = latest_starts(ddg, ii, horizon) else {
+        return Vec::new();
+    };
+    let min_slack = (0..ddg.num_nodes())
+        .map(|i| late[i] - early[i])
+        .min()
+        .unwrap_or(0);
+    (0..ddg.num_nodes())
+        .filter(|&i| late[i] - early[i] == min_slack)
+        .map(NodeId::from_index)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+    use hrms_machine::presets;
+
+    fn accumulator_loop() -> Ddg {
+        // load -> mul -> acc(+), acc has a self-dependence of distance 1.
+        let mut b = DdgBuilder::new("acc");
+        let ld = b.node("ld", OpKind::Load, 2);
+        let mul = b.node("mul", OpKind::FpMul, 2);
+        let acc = b.node("acc", OpKind::FpAdd, 1);
+        b.edge(ld, mul, DepKind::RegFlow, 0).unwrap();
+        b.edge(mul, acc, DepKind::RegFlow, 0).unwrap();
+        b.edge(acc, acc, DepKind::RegFlow, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn acyclic_graph_has_zero_rec_mii() {
+        let g = hrms_ddg::chain("c", 5, OpKind::FpAdd, 1);
+        assert_eq!(rec_mii(&g).unwrap(), 0);
+        let info = MiiInfo::compute(&g, &presets::govindarajan()).unwrap();
+        assert_eq!(info.rec_mii, 0);
+        assert_eq!(info.mii(), info.res_mii);
+        assert!(!info.recurrence_bound());
+    }
+
+    #[test]
+    fn self_loop_rec_mii_equals_latency_over_distance() {
+        let g = accumulator_loop();
+        assert_eq!(rec_mii(&g).unwrap(), 1);
+        let mut b = DdgBuilder::new("slow_acc");
+        let acc = b.node("acc", OpKind::FpAdd, 4);
+        b.edge(acc, acc, DepKind::RegFlow, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(rec_mii(&g).unwrap(), 4);
+    }
+
+    #[test]
+    fn two_node_recurrence_rec_mii() {
+        // a(λ=17) -> b(λ=1) -> a with distance 2: RecMII = ceil(18/2) = 9.
+        let mut b = DdgBuilder::new("r");
+        let a = b.node("a", OpKind::FpDiv, 17);
+        let c = b.node("c", OpKind::FpAdd, 1);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(c, a, DepKind::RegFlow, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(rec_mii(&g).unwrap(), 9);
+    }
+
+    #[test]
+    fn rec_mii_matches_circuit_enumeration_bound() {
+        let g = accumulator_loop();
+        let info = hrms_ddg::RecurrenceInfo::analyze(&g);
+        assert_eq!(u64::from(rec_mii(&g).unwrap()), info.rec_mii_lower_bound());
+    }
+
+    #[test]
+    fn zero_distance_cycle_is_rejected() {
+        let mut b = DdgBuilder::new("bad");
+        let a = b.node("a", OpKind::FpAdd, 1);
+        let c = b.node("c", OpKind::FpAdd, 1);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(c, a, DepKind::RegFlow, 0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(rec_mii(&g), Err(SchedError::ZeroDistanceCycle));
+        assert!(MiiInfo::compute(&g, &presets::govindarajan()).is_err());
+    }
+
+    #[test]
+    fn mii_takes_the_larger_bound() {
+        let g = accumulator_loop();
+        let m = presets::govindarajan();
+        let info = MiiInfo::compute(&g, &m).unwrap();
+        // ResMII: 1 load + 1 mul + 1 add on distinct single units -> 1 each;
+        // RecMII = 1; MII = 1.
+        assert_eq!(info.mii(), 1);
+
+        // Make the recurrence slower than the resources.
+        let mut b = DdgBuilder::new("rec_bound");
+        let acc = b.node("acc", OpKind::FpAdd, 1);
+        let div = b.node("div", OpKind::FpDiv, 17);
+        b.edge(acc, div, DepKind::RegFlow, 0).unwrap();
+        b.edge(div, acc, DepKind::RegFlow, 1).unwrap();
+        let g = b.build().unwrap();
+        let info = MiiInfo::compute(&g, &m).unwrap();
+        assert_eq!(info.rec_mii, 18);
+        assert!(info.recurrence_bound());
+        assert_eq!(info.mii(), 18);
+    }
+
+    #[test]
+    fn anti_dependences_only_need_issue_order() {
+        let mut b = DdgBuilder::new("anti");
+        let ld = b.node("ld", OpKind::Load, 2);
+        let st = b.node("st", OpKind::Store, 1);
+        b.edge(ld, st, DepKind::RegAnti, 0).unwrap();
+        let g = b.build().unwrap();
+        let (_, e) = g.edges().next().unwrap();
+        assert_eq!(dependence_latency(&g, e), 1);
+    }
+
+    #[test]
+    fn earliest_starts_respect_latencies() {
+        let g = accumulator_loop();
+        let est = earliest_starts(&g, 1).unwrap();
+        assert_eq!(est, vec![0, 2, 4]);
+        // Infeasible II returns None.
+        let mut b = DdgBuilder::new("tight");
+        let a = b.node("a", OpKind::FpAdd, 4);
+        b.edge(a, a, DepKind::RegFlow, 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(earliest_starts(&g, 3).is_none());
+        assert!(earliest_starts(&g, 4).is_some());
+    }
+
+    #[test]
+    fn latest_starts_are_consistent_with_earliest() {
+        let g = accumulator_loop();
+        let est = earliest_starts(&g, 2).unwrap();
+        let horizon = 10;
+        let lst = latest_starts(&g, 2, horizon).unwrap();
+        for i in 0..g.num_nodes() {
+            assert!(lst[i] >= est[i], "slack must be non-negative");
+        }
+    }
+
+    #[test]
+    fn zero_slack_nodes_lie_on_the_critical_recurrence() {
+        let mut b = DdgBuilder::new("critical");
+        let a = b.node("a", OpKind::FpAdd, 4);
+        let c = b.node("c", OpKind::FpAdd, 4);
+        let free = b.node("free", OpKind::Load, 2);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(c, a, DepKind::RegFlow, 1).unwrap();
+        b.edge(free, c, DepKind::RegFlow, 0).unwrap();
+        let g = b.build().unwrap();
+        let critical = zero_slack_nodes(&g, 8);
+        assert!(critical.contains(&a));
+        assert!(critical.contains(&c));
+        assert!(!critical.contains(&free));
+    }
+}

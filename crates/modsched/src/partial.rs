@@ -1,0 +1,355 @@
+//! Partial schedules: the mutable state a scheduler builds up node by node.
+
+use std::collections::HashMap;
+
+use hrms_ddg::{Ddg, NodeId};
+use hrms_machine::Machine;
+
+use crate::mii::dependence_latency;
+use crate::mrt::ModuloReservationTable;
+use crate::schedule::Schedule;
+
+/// A partially-built modulo schedule: a set of placed operations together
+/// with the modulo reservation table that tracks their resource usage.
+///
+/// Both HRMS and the baselines drive scheduling through this type, which
+/// exposes the paper's `Early_Start` / `Late_Start` computations and the
+/// modulo-constrained slot scans of Section 3.3.
+#[derive(Debug, Clone)]
+pub struct PartialSchedule {
+    ii: u32,
+    cycles: HashMap<NodeId, i64>,
+    mrt: ModuloReservationTable,
+}
+
+impl PartialSchedule {
+    /// Creates an empty partial schedule for the given II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is 0.
+    pub fn new(machine: &Machine, ii: u32) -> Self {
+        PartialSchedule {
+            ii,
+            cycles: HashMap::new(),
+            mrt: ModuloReservationTable::new(machine, ii),
+        }
+    }
+
+    /// The initiation interval being scheduled for.
+    #[inline]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Number of operations already placed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether no operation has been placed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// The cycle assigned to `node`, if it has been placed.
+    #[inline]
+    pub fn cycle_of(&self, node: NodeId) -> Option<i64> {
+        self.cycles.get(&node).copied()
+    }
+
+    /// Whether `node` has been placed.
+    #[inline]
+    pub fn is_scheduled(&self, node: NodeId) -> bool {
+        self.cycles.contains_key(&node)
+    }
+
+    /// Iterates over the placed operations and their cycles.
+    pub fn placements(&self) -> impl Iterator<Item = (NodeId, i64)> + '_ {
+        self.cycles.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// The *predecessors scheduled previously* of `u` — `PSP(u)` in the
+    /// paper.
+    pub fn scheduled_predecessors(&self, ddg: &Ddg, u: NodeId) -> Vec<NodeId> {
+        ddg.predecessors(u)
+            .into_iter()
+            .filter(|p| *p != u && self.is_scheduled(*p))
+            .collect()
+    }
+
+    /// The *successors scheduled previously* of `u` — `PSS(u)` in the paper.
+    pub fn scheduled_successors(&self, ddg: &Ddg, u: NodeId) -> Vec<NodeId> {
+        ddg.successors(u)
+            .into_iter()
+            .filter(|s| *s != u && self.is_scheduled(*s))
+            .collect()
+    }
+
+    /// The paper's `Early_Start(u)`:
+    /// `max over scheduled predecessors v of t(v) + λ(v) − δ(v,u)·II`.
+    ///
+    /// Returns `None` when no predecessor has been scheduled.
+    pub fn early_start(&self, ddg: &Ddg, u: NodeId) -> Option<i64> {
+        let mut best: Option<i64> = None;
+        for (_, e) in ddg.in_edges(u) {
+            if e.source() == u {
+                continue; // self-dependences only bound II, not placement
+            }
+            let Some(tv) = self.cycle_of(e.source()) else {
+                continue;
+            };
+            let bound = tv + i64::from(dependence_latency(ddg, e))
+                - i64::from(e.distance()) * i64::from(self.ii);
+            best = Some(best.map_or(bound, |b: i64| b.max(bound)));
+        }
+        best
+    }
+
+    /// The paper's `Late_Start(u)`:
+    /// `min over scheduled successors v of t(v) − λ(u) + δ(u,v)·II`.
+    ///
+    /// Returns `None` when no successor has been scheduled.
+    pub fn late_start(&self, ddg: &Ddg, u: NodeId) -> Option<i64> {
+        let mut best: Option<i64> = None;
+        for (_, e) in ddg.out_edges(u) {
+            if e.target() == u {
+                continue;
+            }
+            let Some(tv) = self.cycle_of(e.target()) else {
+                continue;
+            };
+            let bound = tv - i64::from(dependence_latency(ddg, e))
+                + i64::from(e.distance()) * i64::from(self.ii);
+            best = Some(best.map_or(bound, |b: i64| b.min(bound)));
+        }
+        best
+    }
+
+    /// Scans forward from `from` (inclusive) over at most `span` cycles for
+    /// the first cycle where `u` fits in the reservation table, and places it
+    /// there. Returns the chosen cycle, or `None` if no slot was free.
+    ///
+    /// Scanning more than II cycles is pointless because of the modulo
+    /// constraint; the schedulers pass `span = II` (or the distance to a
+    /// deadline if smaller).
+    pub fn place_forward(
+        &mut self,
+        ddg: &Ddg,
+        machine: &Machine,
+        u: NodeId,
+        from: i64,
+        span: u32,
+    ) -> Option<i64> {
+        let kind = ddg.node(u).kind();
+        for k in 0..i64::from(span) {
+            let cycle = from + k;
+            if self.mrt.place(machine, u, kind, cycle) {
+                self.cycles.insert(u, cycle);
+                return Some(cycle);
+            }
+        }
+        None
+    }
+
+    /// Scans backward from `from` (inclusive) over at most `span` cycles for
+    /// the first cycle where `u` fits, and places it there.
+    pub fn place_backward(
+        &mut self,
+        ddg: &Ddg,
+        machine: &Machine,
+        u: NodeId,
+        from: i64,
+        span: u32,
+    ) -> Option<i64> {
+        let kind = ddg.node(u).kind();
+        for k in 0..i64::from(span) {
+            let cycle = from - k;
+            if self.mrt.place(machine, u, kind, cycle) {
+                self.cycles.insert(u, cycle);
+                return Some(cycle);
+            }
+        }
+        None
+    }
+
+    /// Places `u` exactly at `cycle` if the reservation table allows it.
+    pub fn place_at(&mut self, ddg: &Ddg, machine: &Machine, u: NodeId, cycle: i64) -> bool {
+        let kind = ddg.node(u).kind();
+        if self.mrt.place(machine, u, kind, cycle) {
+            self.cycles.insert(u, cycle);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `u` from the partial schedule (used by backtracking
+    /// schedulers such as Slack). Returns whether it was present.
+    pub fn unplace(&mut self, u: NodeId) -> bool {
+        if self.cycles.remove(&u).is_some() {
+            self.mrt.remove(u);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Finalises the partial schedule into an immutable [`Schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node of `ddg` has not been placed; schedulers only
+    /// call this once every node is scheduled.
+    pub fn into_schedule(self, ddg: &Ddg) -> Schedule {
+        let cycles: Vec<i64> = ddg
+            .node_ids()
+            .map(|n| {
+                *self
+                    .cycles
+                    .get(&n)
+                    .unwrap_or_else(|| panic!("node {n} was never scheduled"))
+            })
+            .collect();
+        Schedule::new(self.ii, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+    use hrms_machine::presets;
+
+    fn simple() -> (Ddg, Vec<NodeId>) {
+        // a -> b (flow, dist 0), b -> c (flow, dist 1)
+        let mut bld = DdgBuilder::new("p");
+        let a = bld.node("a", OpKind::Load, 2);
+        let b = bld.node("b", OpKind::FpMul, 2);
+        let c = bld.node("c", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, c, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        (g, vec![a, b, c])
+    }
+
+    #[test]
+    fn early_start_uses_latency_and_distance() {
+        let (g, ids) = simple();
+        let m = presets::govindarajan();
+        let mut ps = PartialSchedule::new(&m, 2);
+        assert!(ps.early_start(&g, ids[1]).is_none());
+        ps.place_at(&g, &m, ids[0], 0);
+        assert_eq!(ps.early_start(&g, ids[1]), Some(2), "t(a) + λ(a)");
+        ps.place_at(&g, &m, ids[1], 2);
+        // c depends on b with distance 1: early start = 2 + 2 - 1*2 = 2.
+        assert_eq!(ps.early_start(&g, ids[2]), Some(2));
+    }
+
+    #[test]
+    fn late_start_mirrors_early_start() {
+        let (g, ids) = simple();
+        let m = presets::govindarajan();
+        let mut ps = PartialSchedule::new(&m, 2);
+        ps.place_at(&g, &m, ids[2], 6);
+        // b must finish before c (+ distance 1): late = 6 - 2 + 2 = 6.
+        assert_eq!(ps.late_start(&g, ids[1]), Some(6));
+        ps.place_at(&g, &m, ids[1], 4);
+        assert_eq!(ps.late_start(&g, ids[0]), Some(2));
+        assert!(ps.late_start(&g, ids[2]).is_none());
+    }
+
+    #[test]
+    fn self_loops_do_not_constrain_placement() {
+        let mut bld = DdgBuilder::new("self");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        bld.edge(a, a, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let m = presets::govindarajan();
+        let mut ps = PartialSchedule::new(&m, 1);
+        ps.place_at(&g, &m, a, 0);
+        assert_eq!(ps.early_start(&g, a), None);
+        assert_eq!(ps.late_start(&g, a), None);
+    }
+
+    #[test]
+    fn forward_scan_skips_busy_slots() {
+        let (g, ids) = simple();
+        let m = presets::govindarajan();
+        let mut ps = PartialSchedule::new(&m, 2);
+        // Fill the load/store unit's slot 0 with node a.
+        assert_eq!(ps.place_forward(&g, &m, ids[0], 0, 2), Some(0));
+        // b is a multiply: unaffected, goes at its requested cycle.
+        assert_eq!(ps.place_forward(&g, &m, ids[1], 2, 2), Some(2));
+        assert_eq!(ps.len(), 2);
+        assert!(ps.is_scheduled(ids[0]));
+        assert!(!ps.is_scheduled(ids[2]));
+    }
+
+    #[test]
+    fn forward_scan_fails_when_window_is_full() {
+        let m = presets::govindarajan();
+        let mut bld = DdgBuilder::new("loads");
+        let l0 = bld.node("l0", OpKind::Load, 2);
+        let l1 = bld.node("l1", OpKind::Load, 2);
+        let l2 = bld.node("l2", OpKind::Load, 2);
+        let g = bld.build().unwrap();
+        let mut ps = PartialSchedule::new(&m, 2);
+        assert!(ps.place_forward(&g, &m, l0, 0, 2).is_some());
+        assert!(ps.place_forward(&g, &m, l1, 0, 2).is_some());
+        assert!(
+            ps.place_forward(&g, &m, l2, 0, 2).is_none(),
+            "both modulo slots of the single load/store unit are taken"
+        );
+    }
+
+    #[test]
+    fn backward_scan_places_as_late_as_possible() {
+        let m = presets::govindarajan();
+        let mut bld = DdgBuilder::new("l");
+        let first = bld.node("first", OpKind::Load, 2);
+        let extra = bld.node("extra", OpKind::Load, 2);
+        let g = bld.build().unwrap();
+        let mut ps = PartialSchedule::new(&m, 2);
+        assert_eq!(ps.place_backward(&g, &m, first, 5, 2), Some(5));
+        // Second load: slot 5 mod 2 = 1 is taken, so it lands on 4.
+        assert_eq!(ps.place_backward(&g, &m, extra, 5, 2), Some(4));
+    }
+
+    #[test]
+    fn unplace_restores_resources() {
+        let (g, ids) = simple();
+        let m = presets::govindarajan();
+        let mut ps = PartialSchedule::new(&m, 1);
+        assert!(ps.place_at(&g, &m, ids[0], 0));
+        assert!(!ps.place_at(&g, &m, ids[0], 1), "already placed");
+        assert!(ps.unplace(ids[0]));
+        assert!(!ps.unplace(ids[0]));
+        assert!(ps.place_at(&g, &m, ids[0], 1));
+    }
+
+    #[test]
+    fn into_schedule_collects_all_cycles() {
+        let (g, ids) = simple();
+        let m = presets::govindarajan();
+        let mut ps = PartialSchedule::new(&m, 2);
+        ps.place_at(&g, &m, ids[0], 0);
+        ps.place_at(&g, &m, ids[1], 2);
+        ps.place_at(&g, &m, ids[2], 4);
+        let s = ps.into_schedule(&g);
+        assert_eq!(s.ii(), 2);
+        assert_eq!(s.cycle(ids[2]) - s.cycle(ids[0]), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "never scheduled")]
+    fn into_schedule_panics_on_missing_nodes() {
+        let (g, ids) = simple();
+        let m = presets::govindarajan();
+        let mut ps = PartialSchedule::new(&m, 2);
+        ps.place_at(&g, &m, ids[0], 0);
+        let _ = ps.into_schedule(&g);
+    }
+}

@@ -1,0 +1,218 @@
+//! Finished modulo schedules.
+
+use std::fmt;
+
+use hrms_ddg::{Ddg, NodeId};
+
+use crate::kernel::Kernel;
+
+/// An immutable modulo schedule: one start cycle per operation plus the
+/// initiation interval it was built for.
+///
+/// Cycles are normalised so that the earliest operation starts at cycle 0
+/// (schedulers may internally produce negative cycles when placing
+/// operations "as late as possible" before their successors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    ii: u32,
+    cycles: Vec<i64>,
+}
+
+impl Schedule {
+    /// Builds a schedule from per-node cycles (indexed by node id), shifting
+    /// them so the minimum cycle is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is empty or `ii` is 0.
+    pub fn new(ii: u32, cycles: Vec<i64>) -> Self {
+        assert!(ii > 0, "the initiation interval must be at least 1");
+        assert!(!cycles.is_empty(), "a schedule needs at least one operation");
+        let min = *cycles.iter().min().expect("non-empty");
+        let cycles = cycles.into_iter().map(|c| c - min).collect();
+        Schedule { ii, cycles }
+    }
+
+    /// The initiation interval.
+    #[inline]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Number of scheduled operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether the schedule is empty (never true for schedules produced by
+    /// the constructors).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// The start cycle of `node` within one iteration's flat schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn cycle(&self, node: NodeId) -> i64 {
+        self.cycles[node.index()]
+    }
+
+    /// The kernel row (`cycle mod II`) of `node`.
+    #[inline]
+    pub fn row(&self, node: NodeId) -> u32 {
+        (self.cycle(node).rem_euclid(i64::from(self.ii))) as u32
+    }
+
+    /// The pipeline stage (`cycle div II`) of `node`.
+    #[inline]
+    pub fn stage(&self, node: NodeId) -> u32 {
+        (self.cycle(node).div_euclid(i64::from(self.ii))) as u32
+    }
+
+    /// Length in cycles of one iteration's flat schedule: last start cycle
+    /// plus one (the paper draws this as the per-iteration schedule of
+    /// Figures 2a/3a/4a).
+    pub fn span(&self) -> i64 {
+        self.cycles.iter().copied().max().unwrap_or(0) + 1
+    }
+
+    /// The *stage count* (`SC`): the number of II-cycle stages one iteration
+    /// spans, i.e. the number of iterations in flight in steady state.
+    pub fn stage_count(&self) -> u32 {
+        let max = self.cycles.iter().copied().max().unwrap_or(0);
+        (max.div_euclid(i64::from(self.ii)) + 1) as u32
+    }
+
+    /// Iterates over `(node, cycle)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, i64)> + '_ {
+        self.cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (NodeId::from_index(i), c))
+    }
+
+    /// Builds the steady-state kernel of this schedule.
+    pub fn kernel(&self) -> Kernel {
+        Kernel::from_schedule(self)
+    }
+
+    /// Total number of cycles needed to execute `iterations` iterations of
+    /// the loop with this schedule: the pipeline fills for
+    /// `(SC − 1)·II` cycles and then completes one iteration every II cycles.
+    ///
+    /// The paper's dynamic figures use the simpler `II × iterations` estimate
+    /// (the fill/drain overhead is negligible for the profiled loops); that
+    /// estimate is available as [`Schedule::estimated_cycles`].
+    pub fn total_cycles(&self, iterations: u64) -> u64 {
+        if iterations == 0 {
+            return 0;
+        }
+        u64::from(self.stage_count() - 1) * u64::from(self.ii)
+            + iterations * u64::from(self.ii)
+    }
+
+    /// The paper's execution-time estimate: `II × iterations`.
+    pub fn estimated_cycles(&self, iterations: u64) -> u64 {
+        u64::from(self.ii) * iterations
+    }
+
+    /// Renders the flat one-iteration schedule as a table of cycles and
+    /// operation names (similar to Figures 2a, 3a and 4a of the paper).
+    pub fn render(&self, ddg: &Ddg) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("II = {}\n", self.ii));
+        for cycle in 0..self.span() {
+            let ops: Vec<&str> = self
+                .iter()
+                .filter(|&(_, c)| c == cycle)
+                .map(|(n, _)| ddg.node(n).name())
+                .collect();
+            out.push_str(&format!("{cycle:>4} | {}\n", ops.join(" ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule(II={}, {} ops)", self.ii, self.cycles.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, OpKind};
+
+    #[test]
+    fn cycles_are_normalised_to_start_at_zero() {
+        let s = Schedule::new(2, vec![-3, 1, 5]);
+        assert_eq!(s.cycle(NodeId(0)), 0);
+        assert_eq!(s.cycle(NodeId(1)), 4);
+        assert_eq!(s.cycle(NodeId(2)), 8);
+    }
+
+    #[test]
+    fn rows_and_stages() {
+        let s = Schedule::new(3, vec![0, 4, 8]);
+        assert_eq!(s.row(NodeId(0)), 0);
+        assert_eq!(s.row(NodeId(1)), 1);
+        assert_eq!(s.row(NodeId(2)), 2);
+        assert_eq!(s.stage(NodeId(0)), 0);
+        assert_eq!(s.stage(NodeId(1)), 1);
+        assert_eq!(s.stage(NodeId(2)), 2);
+        assert_eq!(s.stage_count(), 3);
+        assert_eq!(s.span(), 9);
+    }
+
+    #[test]
+    fn stage_count_of_single_stage_schedule_is_one() {
+        let s = Schedule::new(4, vec![0, 1, 3]);
+        assert_eq!(s.stage_count(), 1);
+    }
+
+    #[test]
+    fn total_cycles_accounts_for_pipeline_fill() {
+        let s = Schedule::new(2, vec![0, 2, 4]); // 3 stages
+        assert_eq!(s.total_cycles(0), 0);
+        // fill = (3-1)*2 = 4, then 10 iterations * 2 cycles
+        assert_eq!(s.total_cycles(10), 24);
+        assert_eq!(s.estimated_cycles(10), 20);
+    }
+
+    #[test]
+    fn render_lists_operations_by_cycle() {
+        let mut b = DdgBuilder::new("r");
+        b.node("alpha", OpKind::FpAdd, 1);
+        b.node("beta", OpKind::FpMul, 2);
+        let g = b.build().unwrap();
+        let s = Schedule::new(2, vec![0, 1]);
+        let text = s.render(&g);
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("II = 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_schedule_panics() {
+        let _ = Schedule::new(1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ii_panics() {
+        let _ = Schedule::new(0, vec![0]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Schedule::new(2, vec![0, 1]);
+        assert_eq!(s.to_string(), "schedule(II=2, 2 ops)");
+    }
+}

@@ -1,0 +1,234 @@
+//! The scheduler interface shared by HRMS and the baseline schedulers.
+
+use std::fmt;
+use std::time::Duration;
+
+use hrms_ddg::Ddg;
+use hrms_machine::Machine;
+
+use crate::error::SchedError;
+use crate::lifetime::LifetimeAnalysis;
+use crate::mii::MiiInfo;
+use crate::schedule::Schedule;
+
+/// Configuration shared by every scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Hard upper bound on the II to try before giving up. When `None`, the
+    /// bound defaults to `MII + sum of latencies + number of operations`,
+    /// which is always sufficient for a work-conserving scheduler.
+    pub max_ii: Option<u32>,
+    /// Generic per-II effort budget used by schedulers that backtrack
+    /// (Slack's ejection count, the branch-and-bound node count). Simple
+    /// one-pass schedulers ignore it.
+    pub budget_per_ii: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_ii: None,
+            budget_per_ii: 200_000,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// The default II cap for a given loop when [`SchedulerConfig::max_ii`]
+    /// is not set.
+    pub fn effective_max_ii(&self, ddg: &Ddg, mii: u32) -> u32 {
+        self.max_ii.unwrap_or_else(|| {
+            let total: u64 = ddg.total_latency() + ddg.num_nodes() as u64;
+            mii.saturating_add(total.min(u64::from(u32::MAX)) as u32)
+        })
+    }
+}
+
+/// Summary metrics of a finished schedule; every number the paper's tables
+/// and figures report can be derived from these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleMetrics {
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Lower bound `MII`.
+    pub mii: u32,
+    /// Resource-constrained bound.
+    pub res_mii: u32,
+    /// Recurrence-constrained bound.
+    pub rec_mii: u32,
+    /// Number of pipeline stages.
+    pub stage_count: u32,
+    /// Flat length of one iteration's schedule.
+    pub span: i64,
+    /// Register requirement of the loop variants (`MaxLive`).
+    pub max_live: u64,
+    /// `MaxLive` plus one register per loop invariant.
+    pub max_live_with_invariants: u64,
+    /// Buffer requirement (Govindarajan et al. metric, used by Table 1).
+    pub buffers: u64,
+    /// Sum of loop-variant lifetime lengths.
+    pub total_lifetime: i64,
+}
+
+impl ScheduleMetrics {
+    /// Computes the metrics of `schedule`.
+    pub fn compute(ddg: &Ddg, schedule: &Schedule, mii: MiiInfo) -> Self {
+        let lt = LifetimeAnalysis::analyze(ddg, schedule);
+        ScheduleMetrics {
+            ii: schedule.ii(),
+            mii: mii.mii(),
+            res_mii: mii.res_mii,
+            rec_mii: mii.rec_mii,
+            stage_count: schedule.stage_count(),
+            span: schedule.span(),
+            max_live: lt.max_live(),
+            max_live_with_invariants: lt.max_live_with_invariants(),
+            buffers: lt.buffers(),
+            total_lifetime: lt.total_lifetime(),
+        }
+    }
+
+    /// Whether the achieved II equals the lower bound (an "optimal" II in the
+    /// paper's terminology).
+    pub fn ii_is_optimal(&self) -> bool {
+        self.ii == self.mii
+    }
+
+    /// The ratio `II / MII` (1.0 when optimal).
+    pub fn ii_ratio(&self) -> f64 {
+        f64::from(self.ii) / f64::from(self.mii.max(1))
+    }
+}
+
+impl fmt::Display for ScheduleMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "II={} (MII={}), SC={}, MaxLive={}, buffers={}",
+            self.ii, self.mii, self.stage_count, self.max_live, self.buffers
+        )
+    }
+}
+
+/// The result of scheduling one loop.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// The schedule itself.
+    pub schedule: Schedule,
+    /// The MII bounds of the loop.
+    pub mii: MiiInfo,
+    /// Derived metrics.
+    pub metrics: ScheduleMetrics,
+    /// Number of II values tried before a schedule was found.
+    pub attempts: u32,
+    /// Wall-clock time spent by the scheduler (total).
+    pub elapsed: Duration,
+    /// Wall-clock time spent in the pre-ordering phase (zero for schedulers
+    /// without one); lets the harness reproduce the paper's "ordering is
+    /// only 9% of the time" measurement.
+    pub ordering_time: Duration,
+}
+
+impl ScheduleOutcome {
+    /// Bundles a finished schedule with its metrics.
+    pub fn new(
+        ddg: &Ddg,
+        schedule: Schedule,
+        mii: MiiInfo,
+        attempts: u32,
+        elapsed: Duration,
+        ordering_time: Duration,
+    ) -> Self {
+        let metrics = ScheduleMetrics::compute(ddg, &schedule, mii);
+        ScheduleOutcome {
+            schedule,
+            mii,
+            metrics,
+            attempts,
+            elapsed,
+            ordering_time,
+        }
+    }
+}
+
+/// A resource-constrained software-pipelining scheduler.
+///
+/// Implemented by HRMS (`hrms-core`) and by every baseline
+/// (`hrms-baselines`); the benchmark harness and the register-allocation
+/// passes only interact with schedulers through this trait.
+pub trait ModuloScheduler {
+    /// Short identifier used in reports ("HRMS", "Top-Down", "Slack", ...).
+    fn name(&self) -> &str;
+
+    /// Schedules one loop on the given machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedError`] when the loop cannot be scheduled (malformed
+    /// graph, or the II/search budget was exhausted).
+    fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+    use hrms_machine::presets;
+
+    #[test]
+    fn metrics_derive_from_schedule() {
+        let mut b = DdgBuilder::new("m");
+        let ld = b.node("ld", OpKind::Load, 2);
+        let add = b.node("add", OpKind::FpAdd, 1);
+        b.edge(ld, add, DepKind::RegFlow, 0).unwrap();
+        b.invariants(1);
+        let g = b.build().unwrap();
+        let m = presets::govindarajan();
+        let mii = MiiInfo::compute(&g, &m).unwrap();
+        let s = Schedule::new(1, vec![0, 2]);
+        let metrics = ScheduleMetrics::compute(&g, &s, mii);
+        assert_eq!(metrics.ii, 1);
+        assert_eq!(metrics.mii, 1);
+        assert!(metrics.ii_is_optimal());
+        assert_eq!(metrics.stage_count, 3);
+        assert_eq!(metrics.span, 3);
+        assert_eq!(metrics.max_live, 2, "lifetime 2 at II 1 overlaps twice");
+        assert_eq!(metrics.max_live_with_invariants, 3);
+        assert_eq!(metrics.buffers, 2);
+        assert!((metrics.ii_ratio() - 1.0).abs() < 1e-12);
+        assert!(metrics.to_string().contains("II=1"));
+    }
+
+    #[test]
+    fn default_config_has_a_generous_ii_cap() {
+        let g = hrms_ddg::chain("c", 3, OpKind::FpAdd, 1);
+        let cfg = SchedulerConfig::default();
+        assert!(cfg.effective_max_ii(&g, 2) >= 2 + 3 + 3);
+        let cfg = SchedulerConfig {
+            max_ii: Some(7),
+            ..SchedulerConfig::default()
+        };
+        assert_eq!(cfg.effective_max_ii(&g, 2), 7);
+    }
+
+    #[test]
+    fn outcome_carries_timing_information() {
+        let mut b = DdgBuilder::new("o");
+        b.node("a", OpKind::FpAdd, 1);
+        let g = b.build().unwrap();
+        let m = presets::govindarajan();
+        let mii = MiiInfo::compute(&g, &m).unwrap();
+        let outcome = ScheduleOutcome::new(
+            &g,
+            Schedule::new(1, vec![0]),
+            mii,
+            1,
+            Duration::from_millis(3),
+            Duration::from_millis(1),
+        );
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.elapsed.as_millis(), 3);
+        assert_eq!(outcome.ordering_time.as_millis(), 1);
+        assert_eq!(outcome.metrics.ii, 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Register-pressure analysis and register allocation for software-pipelined
+//! loops.
+//!
+//! The scheduling crates (`hrms-core`, `hrms-baselines`) decide *when* each
+//! operation executes; this crate deals with the consequences for registers:
+//!
+//! * [`pressure`] — summary statistics and cumulative distributions of
+//!   register requirements across a set of scheduled loops (Figures 11–13 of
+//!   the paper),
+//! * [`spill`] — spill-code insertion and re-scheduling under a fixed
+//!   register budget (Figure 14),
+//! * [`mve`] — modulo variable expansion: kernel unrolling with compile-time
+//!   renaming, the software alternative to rotating register files,
+//! * [`rotating`] — allocation of loop-variant lifetimes onto a rotating
+//!   register file using the wands-only end-fit strategy with adjacency
+//!   ordering (Rau et al.), which the paper's footnote 4 cites as achieving
+//!   `MaxLive + 1` registers or better in practice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mve;
+pub mod pressure;
+pub mod rotating;
+pub mod spill;
+
+pub use mve::{mve_registers, mve_unroll_factor, ExpandedKernel};
+pub use pressure::{CumulativeDistribution, PressureKind, RegisterPressure};
+pub use rotating::{allocate_rotating, RotatingAllocation};
+pub use spill::{schedule_with_register_budget, SpillConfig, SpillResult};

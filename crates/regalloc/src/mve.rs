@@ -1,0 +1,248 @@
+//! Modulo variable expansion (MVE).
+//!
+//! When a loop variant lives longer than one II, successive iterations would
+//! overwrite it before its last use. Section 2 of the paper lists the two
+//! classic fixes: *modulo variable expansion* — unroll the kernel and rename
+//! each definition at compile time (Lam) — and rotating register files
+//! (handled in [`crate::rotating`]). This module implements MVE: it computes
+//! the required unroll factor, the per-value register counts, and the
+//! expanded (unrolled, renamed) kernel.
+
+use std::collections::HashMap;
+
+use hrms_ddg::{Ddg, NodeId};
+use hrms_modsched::{LifetimeAnalysis, Schedule};
+
+/// The kernel-unroll factor MVE needs: the maximum, over all loop variants,
+/// of the number of concurrently-live instances (`ceil(lifetime / II)`), and
+/// at least 1.
+pub fn mve_unroll_factor(lifetimes: &LifetimeAnalysis) -> u32 {
+    lifetimes
+        .lifetimes()
+        .iter()
+        .map(|l| l.buffers(lifetimes.ii()) as u32)
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// The total number of registers MVE needs: one register per live instance
+/// of each value (`Σ ceil(lifetime / II)`), which equals the Govindarajan
+/// buffer count minus the per-store buffers.
+pub fn mve_registers(lifetimes: &LifetimeAnalysis) -> u64 {
+    lifetimes
+        .lifetimes()
+        .iter()
+        .map(|l| l.buffers(lifetimes.ii()))
+        .sum()
+}
+
+/// One operation instance in the expanded kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpandedOp {
+    /// The original operation.
+    pub node: NodeId,
+    /// Which unrolled copy of the kernel this instance belongs to
+    /// (`0..unroll_factor`).
+    pub copy: u32,
+    /// The register assigned to the value this instance defines (`None` for
+    /// operations that define no value).
+    pub register: Option<u32>,
+}
+
+/// The unrolled, renamed kernel produced by modulo variable expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandedKernel {
+    unroll_factor: u32,
+    ii: u32,
+    /// `rows[r]` lists the operations issued in row `r` of the expanded
+    /// kernel (`0 <= r < unroll_factor * ii`).
+    rows: Vec<Vec<ExpandedOp>>,
+    /// Total registers used by the renaming.
+    registers: u64,
+}
+
+impl ExpandedKernel {
+    /// Expands the kernel of `schedule` for `ddg`.
+    pub fn expand(ddg: &Ddg, schedule: &Schedule) -> Self {
+        let lifetimes = LifetimeAnalysis::analyze(ddg, schedule);
+        let ii = schedule.ii();
+        let factor = mve_unroll_factor(&lifetimes);
+
+        // Assign one register block per value: value v gets
+        // `ceil(lifetime/II)` registers, used round-robin by consecutive
+        // kernel copies.
+        let mut next_register = 0u32;
+        let mut block: HashMap<NodeId, (u32, u32)> = HashMap::new(); // node -> (base, count)
+        for l in lifetimes.lifetimes() {
+            let count = l.buffers(ii) as u32;
+            block.insert(l.producer, (next_register, count));
+            next_register += count;
+        }
+
+        let mut rows = vec![Vec::new(); (factor * ii) as usize];
+        for copy in 0..factor {
+            for (node, _) in schedule.iter() {
+                let row = copy * ii + schedule.row(node);
+                let register = block
+                    .get(&node)
+                    .map(|&(base, count)| base + (copy % count));
+                rows[row as usize].push(ExpandedOp {
+                    node,
+                    copy,
+                    register,
+                });
+            }
+        }
+        for row in &mut rows {
+            row.sort_by_key(|op| (op.node, op.copy));
+        }
+        ExpandedKernel {
+            unroll_factor: factor,
+            ii,
+            rows,
+            registers: u64::from(next_register),
+        }
+    }
+
+    /// The unroll factor (number of kernel copies).
+    pub fn unroll_factor(&self) -> u32 {
+        self.unroll_factor
+    }
+
+    /// Number of rows of the expanded kernel (`unroll_factor × II`).
+    pub fn len_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The operations issued in expanded row `row`.
+    pub fn row(&self, row: u32) -> &[ExpandedOp] {
+        &self.rows[row as usize]
+    }
+
+    /// Total number of registers used by the expansion.
+    pub fn registers(&self) -> u64 {
+        self.registers
+    }
+
+    /// Checks the renaming invariant: within any window of `lifetime`
+    /// cycles, no register is redefined — i.e. consecutive definitions of
+    /// the same value use different registers whenever their lifetimes
+    /// overlap.
+    pub fn renaming_is_consistent(&self, ddg: &Ddg, schedule: &Schedule) -> bool {
+        let lifetimes = LifetimeAnalysis::analyze(ddg, schedule);
+        let by_producer: HashMap<NodeId, i64> = lifetimes
+            .lifetimes()
+            .iter()
+            .map(|l| (l.producer, l.length()))
+            .collect();
+        let expanded_ii = i64::from(self.unroll_factor * self.ii);
+        for (node, length) in by_producer {
+            // Definition k of this value (one per expanded-kernel repetition
+            // per copy) must not clash with definition k+1 .. while alive.
+            let mut regs = Vec::new();
+            for copy in 0..self.unroll_factor {
+                let row = copy * self.ii + schedule.row(node);
+                let op = self.rows[row as usize]
+                    .iter()
+                    .find(|op| op.node == node && op.copy == copy)
+                    .expect("every copy of every op is in the expanded kernel");
+                regs.push((i64::from(copy * self.ii), op.register));
+            }
+            // Two consecutive definitions d apart in time share a register
+            // only if d >= lifetime.
+            for i in 0..regs.len() {
+                for j in (i + 1)..regs.len() {
+                    let gap = regs[j].0 - regs[i].0;
+                    if regs[i].1 == regs[j].1 && gap < length && gap < expanded_ii {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+
+    /// A value alive for 2·II, so MVE must unroll twice.
+    fn long_lifetime() -> (Ddg, Schedule) {
+        let mut b = DdgBuilder::new("long");
+        let prod = b.node("prod", OpKind::Load, 2);
+        let cons = b.node("cons", OpKind::FpAdd, 1);
+        b.edge(prod, cons, DepKind::RegFlow, 0).unwrap();
+        let g = b.build().unwrap();
+        let s = Schedule::new(2, vec![0, 4]);
+        (g, s)
+    }
+
+    #[test]
+    fn unroll_factor_covers_the_longest_lifetime() {
+        let (g, s) = long_lifetime();
+        let lt = LifetimeAnalysis::analyze(&g, &s);
+        assert_eq!(mve_unroll_factor(&lt), 2);
+        assert_eq!(mve_registers(&lt), 2);
+    }
+
+    #[test]
+    fn short_lifetimes_need_no_unrolling() {
+        let mut b = DdgBuilder::new("short");
+        let prod = b.node("prod", OpKind::FpAdd, 1);
+        let cons = b.node("cons", OpKind::FpAdd, 1);
+        b.edge(prod, cons, DepKind::RegFlow, 0).unwrap();
+        let g = b.build().unwrap();
+        let s = Schedule::new(2, vec![0, 1]);
+        let lt = LifetimeAnalysis::analyze(&g, &s);
+        assert_eq!(mve_unroll_factor(&lt), 1);
+    }
+
+    #[test]
+    fn expanded_kernel_has_factor_times_ii_rows() {
+        let (g, s) = long_lifetime();
+        let k = ExpandedKernel::expand(&g, &s);
+        assert_eq!(k.unroll_factor(), 2);
+        assert_eq!(k.len_rows(), 4);
+        // Every (node, copy) pair appears exactly once.
+        let mut count = 0;
+        for r in 0..k.len_rows() {
+            count += k.row(r as u32).len();
+        }
+        assert_eq!(count, g.num_nodes() * 2);
+    }
+
+    #[test]
+    fn consecutive_copies_use_different_registers_for_long_values() {
+        let (g, s) = long_lifetime();
+        let k = ExpandedKernel::expand(&g, &s);
+        let reg_of = |copy: u32| {
+            (0..k.len_rows() as u32)
+                .flat_map(|r| k.row(r).iter().copied().collect::<Vec<_>>())
+                .find(|op| op.node == NodeId(0) && op.copy == copy)
+                .and_then(|op| op.register)
+                .unwrap()
+        };
+        assert_ne!(reg_of(0), reg_of(1));
+        assert!(k.renaming_is_consistent(&g, &s));
+        assert_eq!(k.registers(), 2);
+    }
+
+    #[test]
+    fn valueless_ops_get_no_register() {
+        let mut b = DdgBuilder::new("store");
+        let prod = b.node("prod", OpKind::FpAdd, 1);
+        let st = b.node("st", OpKind::Store, 1);
+        b.edge(prod, st, DepKind::RegFlow, 0).unwrap();
+        let g = b.build().unwrap();
+        let s = Schedule::new(1, vec![0, 1]);
+        let k = ExpandedKernel::expand(&g, &s);
+        let store_op = (0..k.len_rows() as u32)
+            .flat_map(|r| k.row(r).iter().copied().collect::<Vec<_>>())
+            .find(|op| op.node == NodeId(1))
+            .unwrap();
+        assert_eq!(store_op.register, None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Register-pressure summaries and cumulative distributions.
+
+use hrms_ddg::Ddg;
+use hrms_modsched::{LifetimeAnalysis, Schedule};
+
+/// Which registers are being counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PressureKind {
+    /// Only loop variants (Figures 11 and 12 of the paper).
+    VariantsOnly,
+    /// Loop variants plus one register per loop invariant (Figures 13 and
+    /// 14).
+    VariantsAndInvariants,
+}
+
+/// The register pressure of one scheduled loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterPressure {
+    /// `MaxLive` of the loop variants.
+    pub variants: u64,
+    /// Number of loop invariants (each needs one register for the whole
+    /// loop).
+    pub invariants: u64,
+}
+
+impl RegisterPressure {
+    /// Measures the pressure of `schedule`.
+    pub fn measure(ddg: &Ddg, schedule: &Schedule) -> Self {
+        let lt = LifetimeAnalysis::analyze(ddg, schedule);
+        RegisterPressure {
+            variants: lt.max_live(),
+            invariants: u64::from(ddg.num_invariants()),
+        }
+    }
+
+    /// The register count for the requested [`PressureKind`].
+    pub fn registers(&self, kind: PressureKind) -> u64 {
+        match kind {
+            PressureKind::VariantsOnly => self.variants,
+            PressureKind::VariantsAndInvariants => self.variants + self.invariants,
+        }
+    }
+}
+
+/// A cumulative distribution over register requirements, optionally weighted
+/// (the paper's "static" distributions weight every loop equally, the
+/// "dynamic" ones weight each loop by its execution time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CumulativeDistribution {
+    /// Sorted `(registers, weight)` samples.
+    samples: Vec<(u64, f64)>,
+    total_weight: f64,
+}
+
+impl CumulativeDistribution {
+    /// Builds a distribution from `(registers, weight)` samples.
+    pub fn from_samples(mut samples: Vec<(u64, f64)>) -> Self {
+        samples.sort_by(|a, b| a.0.cmp(&b.0));
+        let total_weight = samples.iter().map(|s| s.1).sum();
+        CumulativeDistribution {
+            samples,
+            total_weight,
+        }
+    }
+
+    /// Builds an unweighted ("static") distribution.
+    pub fn from_counts(counts: impl IntoIterator<Item = u64>) -> Self {
+        Self::from_samples(counts.into_iter().map(|c| (c, 1.0)).collect())
+    }
+
+    /// The fraction (0..=1) of total weight whose register requirement is
+    /// less than or equal to `registers`.
+    pub fn fraction_at_or_below(&self, registers: u64) -> f64 {
+        if self.total_weight == 0.0 {
+            return 1.0;
+        }
+        let covered: f64 = self
+            .samples
+            .iter()
+            .take_while(|(r, _)| *r <= registers)
+            .map(|(_, w)| w)
+            .sum();
+        covered / self.total_weight
+    }
+
+    /// The fraction of total weight that needs **more** than `registers`
+    /// registers (the quantity quoted in the paper: "45% of the cycles is
+    /// spent in loops requiring more than 32 registers").
+    pub fn fraction_above(&self, registers: u64) -> f64 {
+        1.0 - self.fraction_at_or_below(registers)
+    }
+
+    /// The weighted mean register requirement.
+    pub fn mean(&self) -> f64 {
+        if self.total_weight == 0.0 {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .map(|(r, w)| *r as f64 * w)
+            .sum::<f64>()
+            / self.total_weight
+    }
+
+    /// The smallest register count `r` such that at least `q` (0..=1) of the
+    /// weight needs `r` registers or fewer.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.total_weight;
+        let mut acc = 0.0;
+        for (r, w) in &self.samples {
+            acc += w;
+            if acc + 1e-12 >= target {
+                return *r;
+            }
+        }
+        self.samples.last().map(|(r, _)| *r).unwrap_or(0)
+    }
+
+    /// The points of the cumulative curve (register count, cumulative
+    /// fraction) at the sample values — what the figure-generation binaries
+    /// print.
+    pub fn curve(&self) -> Vec<(u64, f64)> {
+        let mut distinct: Vec<u64> = self.samples.iter().map(|(r, _)| *r).collect();
+        distinct.dedup();
+        distinct
+            .into_iter()
+            .map(|r| (r, self.fraction_at_or_below(r)))
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the distribution has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+
+    #[test]
+    fn pressure_counts_variants_and_invariants() {
+        let mut b = DdgBuilder::new("p");
+        let ld = b.node("ld", OpKind::Load, 2);
+        let add = b.node("add", OpKind::FpAdd, 1);
+        b.edge(ld, add, DepKind::RegFlow, 0).unwrap();
+        b.invariants(3);
+        let g = b.build().unwrap();
+        let s = Schedule::new(2, vec![0, 2]);
+        let p = RegisterPressure::measure(&g, &s);
+        assert_eq!(p.variants, 1);
+        assert_eq!(p.invariants, 3);
+        assert_eq!(p.registers(PressureKind::VariantsOnly), 1);
+        assert_eq!(p.registers(PressureKind::VariantsAndInvariants), 4);
+    }
+
+    #[test]
+    fn static_distribution_counts_loops_equally() {
+        let d = CumulativeDistribution::from_counts([4, 8, 16, 64]);
+        assert_eq!(d.len(), 4);
+        assert!((d.fraction_at_or_below(8) - 0.5).abs() < 1e-12);
+        assert!((d.fraction_above(32) - 0.25).abs() < 1e-12);
+        assert!((d.mean() - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_distribution_weights_by_execution_time() {
+        // One loop needs 64 registers but dominates execution time.
+        let d = CumulativeDistribution::from_samples(vec![(8, 1.0), (64, 9.0)]);
+        assert!((d.fraction_above(32) - 0.9).abs() < 1e-12);
+        assert_eq!(d.quantile(0.5), 64);
+        assert_eq!(d.quantile(0.05), 8);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let d = CumulativeDistribution::from_counts([2, 2, 5, 9, 9, 9]);
+        let curve = d.curve();
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution_is_harmless() {
+        let d = CumulativeDistribution::from_counts(Vec::<u64>::new());
+        assert!(d.is_empty());
+        assert_eq!(d.quantile(0.5), 0);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.fraction_at_or_below(10), 1.0);
+    }
+}

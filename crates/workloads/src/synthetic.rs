@@ -1,0 +1,87 @@
+//! The synthetic Perfect-Club-like loop suite.
+//!
+//! Section 4.2 of the paper evaluates HRMS on 1258 innermost DO loops
+//! extracted from the Perfect Club benchmarks with the ICTINEO compiler,
+//! weighted by profiled iteration counts. Neither the benchmark suite nor
+//! the compiler is available, so the reproduction uses a deterministic
+//! synthetic suite whose size, operation-mix, recurrence and iteration-count
+//! distributions follow the characteristics reported in the paper and its
+//! companion technical reports (see DESIGN.md, substitutions table). The
+//! suite is a pure function of a fixed seed, so every run of the harness
+//! sees exactly the same 1258 loops.
+
+use hrms_ddg::Ddg;
+
+use crate::generator::{GeneratorConfig, LoopGenerator};
+
+/// Number of loops in the paper's Perfect-Club evaluation.
+pub const PERFECT_CLUB_LOOP_COUNT: usize = 1258;
+
+/// The fixed seed of the default suite (1995 / MICRO-28).
+pub const DEFAULT_SEED: u64 = 0x1995_0028;
+
+/// The default synthetic suite: 1258 loops.
+pub fn perfect_club_like() -> Vec<Ddg> {
+    perfect_club_like_sized(PERFECT_CLUB_LOOP_COUNT)
+}
+
+/// A smaller (or larger) suite with the same distributional parameters —
+/// the benchmark harness uses reduced sizes for quick runs.
+pub fn perfect_club_like_sized(count: usize) -> Vec<Ddg> {
+    LoopGenerator::new(DEFAULT_SEED, suite_config()).generate(count)
+}
+
+/// The generator configuration of the synthetic suite.
+pub fn suite_config() -> GeneratorConfig {
+    GeneratorConfig {
+        min_ops: 4,
+        mean_ops: 15.0,
+        max_ops: 72,
+        recurrence_probability: 0.45,
+        max_distance: 2,
+        max_invariants: 6,
+        iteration_range: (10, 50_000),
+        ..GeneratorConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_machine::presets;
+    use hrms_modsched::MiiInfo;
+
+    #[test]
+    fn sized_suite_has_the_requested_length_and_is_deterministic() {
+        let a = perfect_club_like_sized(40);
+        let b = perfect_club_like_sized(40);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_suite_constant_matches_the_paper() {
+        assert_eq!(PERFECT_CLUB_LOOP_COUNT, 1258);
+    }
+
+    #[test]
+    fn a_sample_of_the_suite_is_schedulable_on_the_section42_machine() {
+        let m = presets::perfect_club();
+        for g in perfect_club_like_sized(60) {
+            MiiInfo::compute(&g, &m)
+                .unwrap_or_else(|e| panic!("loop `{}` invalid: {e}", g.name()));
+        }
+    }
+
+    #[test]
+    fn suite_statistics_are_plausible() {
+        let loops = perfect_club_like_sized(300);
+        let mean_size: f64 =
+            loops.iter().map(|g| g.num_nodes() as f64).sum::<f64>() / loops.len() as f64;
+        assert!(mean_size > 8.0 && mean_size < 25.0, "mean size {mean_size}");
+        let with_rec = loops.iter().filter(|g| g.has_recurrence()).count();
+        assert!(with_rec > 60 && with_rec < 240, "recurrent loops {with_rec}");
+        let max_iter = loops.iter().map(|g| g.iteration_count()).max().unwrap();
+        assert!(max_iter > 1_000, "iteration counts should have a heavy tail");
+    }
+}

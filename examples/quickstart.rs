@@ -1,0 +1,46 @@
+//! Quickstart: build a small loop body, software-pipeline it with HRMS, and
+//! inspect the schedule, kernel and register requirements.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use hrms_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The loop body of a dot product: q += x[i] * y[i].
+    let mut b = DdgBuilder::new("dot_product");
+    let load_x = b.node("load_x", OpKind::Load, 2);
+    let load_y = b.node("load_y", OpKind::Load, 2);
+    let mul = b.node("mul", OpKind::FpMul, 2);
+    let acc = b.node("acc", OpKind::FpAdd, 1);
+    b.edge(load_x, mul, DepKind::RegFlow, 0)?;
+    b.edge(load_y, mul, DepKind::RegFlow, 0)?;
+    b.edge(mul, acc, DepKind::RegFlow, 0)?;
+    // The accumulator depends on its own value from the previous iteration.
+    b.edge(acc, acc, DepKind::RegFlow, 1)?;
+    let ddg = b.build()?;
+
+    // Schedule it for the paper's Table-1 machine (1 FP adder, 1 FP
+    // multiplier, 1 FP divider, 1 load/store unit).
+    let machine = presets::govindarajan();
+    let outcome = HrmsScheduler::new().schedule_loop(&ddg, &machine)?;
+
+    println!("loop `{}` on machine `{}`", ddg.name(), machine.name());
+    println!(
+        "MII = {} (ResMII {}, RecMII {}), achieved II = {}\n",
+        outcome.metrics.mii, outcome.metrics.res_mii, outcome.metrics.rec_mii, outcome.metrics.ii
+    );
+    println!("one-iteration schedule:\n{}", outcome.schedule.render(&ddg));
+    println!("steady-state kernel:\n{}", outcome.schedule.kernel().render(&ddg));
+
+    let lifetimes = LifetimeAnalysis::analyze(&ddg, &outcome.schedule);
+    println!(
+        "register requirements: MaxLive = {}, buffers = {}",
+        lifetimes.max_live(),
+        lifetimes.buffers()
+    );
+
+    // The independent validator agrees the schedule is correct.
+    validate_schedule(&ddg, &machine, &outcome.schedule)?;
+    println!("schedule validated: every dependence and resource constraint holds");
+    Ok(())
+}
