@@ -109,7 +109,15 @@ pub fn schedule_with_backtracking(
                     Some(&prev) => dyn_early.max(prev + 1),
                     None => dyn_early,
                 };
-                force_place(ddg, machine, &mut partial, &mut unscheduled, u, force_at, ii);
+                force_place(
+                    ddg,
+                    machine,
+                    &mut partial,
+                    &mut unscheduled,
+                    u,
+                    force_at,
+                    ii,
+                );
                 force_at
             }
         };

@@ -87,7 +87,9 @@ mod tests {
         let (g, _) = figure1();
         let m = presets::general_purpose();
         let bu = BottomUpScheduler::new().schedule_loop(&g, &m).unwrap();
-        let hrms = hrms_core::HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        let hrms = hrms_core::HrmsScheduler::new()
+            .schedule_loop(&g, &m)
+            .unwrap();
         let bu_regs = LifetimeAnalysis::analyze(&g, &bu.schedule).max_live();
         let hrms_regs = LifetimeAnalysis::analyze(&g, &hrms.schedule).max_live();
         assert!(hrms_regs <= bu_regs, "HRMS must not need more registers");

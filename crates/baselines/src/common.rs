@@ -27,7 +27,7 @@ pub fn topdown_order(ddg: &Ddg) -> Vec<NodeId> {
         // Invalid (zero-distance-cyclic) graphs are rejected later by the
         // MII computation; fall back to program order so ordering never
         // fails.
-        return TopoLevels::compute(&trivial_copy(ddg)).expect("trivial graph is acyclic");
+        TopoLevels::compute(&trivial_copy(ddg)).expect("trivial graph is acyclic")
     });
     let mut order: Vec<NodeId> = ddg.node_ids().collect();
     order.sort_by_key(|&n| {
@@ -46,7 +46,7 @@ pub fn topdown_order(ddg: &Ddg) -> Vec<NodeId> {
 /// intra-iteration successors precede it in this order.
 pub fn bottomup_order(ddg: &Ddg) -> Vec<NodeId> {
     let levels = TopoLevels::compute(ddg).unwrap_or_else(|_| {
-        return TopoLevels::compute(&trivial_copy(ddg)).expect("trivial graph is acyclic");
+        TopoLevels::compute(&trivial_copy(ddg)).expect("trivial graph is acyclic")
     });
     let mut order: Vec<NodeId> = ddg.node_ids().collect();
     order.sort_by_key(|&n| {
@@ -111,9 +111,7 @@ pub fn schedule_directional_at_ii(
                 }
             }
         };
-        if placed.is_none() {
-            return None;
-        }
+        placed?;
     }
     Some(partial.into_schedule(ddg))
 }
@@ -133,7 +131,9 @@ where
     let mii = MiiInfo::compute(ddg, machine)?;
     let max_ii = config.effective_max_ii(ddg, mii.mii());
     if max_ii < mii.mii() {
-        return Err(SchedError::NoValidSchedule { max_ii_tried: max_ii });
+        return Err(SchedError::NoValidSchedule {
+            max_ii_tried: max_ii,
+        });
     }
     let mut attempts = 0;
     let mut ii = mii.mii();

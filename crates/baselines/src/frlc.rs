@@ -134,7 +134,9 @@ mod tests {
         let g = saxpy_like();
         let m = presets::govindarajan();
         let frlc = FrlcScheduler::new().schedule_loop(&g, &m).unwrap();
-        let hrms = hrms_core::HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        let hrms = hrms_core::HrmsScheduler::new()
+            .schedule_loop(&g, &m)
+            .unwrap();
         let frlc_buf = LifetimeAnalysis::analyze(&g, &frlc.schedule).buffers();
         let hrms_buf = LifetimeAnalysis::analyze(&g, &hrms.schedule).buffers();
         assert!(frlc_buf >= hrms_buf);

@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn all_baselines_have_distinct_names() {
-        let names: Vec<String> = all_baselines().iter().map(|s| s.name().to_string()).collect();
+        let names: Vec<String> = all_baselines()
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

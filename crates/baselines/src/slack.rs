@@ -91,7 +91,9 @@ mod tests {
         let g = figure1();
         let m = presets::general_purpose();
         let slack = SlackScheduler::new().schedule_loop(&g, &m).unwrap();
-        let hrms = hrms_core::HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        let hrms = hrms_core::HrmsScheduler::new()
+            .schedule_loop(&g, &m)
+            .unwrap();
         assert!(slack.metrics.max_live <= hrms.metrics.max_live + 2);
     }
 

@@ -85,7 +85,9 @@ mod tests {
         let (g, _) = figure1();
         let m = presets::general_purpose();
         let td = TopDownScheduler::new().schedule_loop(&g, &m).unwrap();
-        let hrms = hrms_core::HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+        let hrms = hrms_core::HrmsScheduler::new()
+            .schedule_loop(&g, &m)
+            .unwrap();
         let td_regs = LifetimeAnalysis::analyze(&g, &td.schedule).max_live();
         let hrms_regs = LifetimeAnalysis::analyze(&g, &hrms.schedule).max_live();
         assert_eq!(hrms_regs, 6);

@@ -35,14 +35,10 @@ fn bench_scc_and_circuits(c: &mut Criterion) {
             &ddg,
             |b, ddg| b.iter(|| RecurrenceInfo::analyze(std::hint::black_box(ddg))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("mii", ddg.num_nodes()),
-            &ddg,
-            |b, ddg| {
-                let machine = presets::perfect_club();
-                b.iter(|| MiiInfo::compute(std::hint::black_box(ddg), &machine).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mii", ddg.num_nodes()), &ddg, |b, ddg| {
+            let machine = presets::perfect_club();
+            b.iter(|| MiiInfo::compute(std::hint::black_box(ddg), &machine).unwrap())
+        });
         group.bench_with_input(
             BenchmarkId::new("search_all_paths", ddg.num_nodes()),
             &ddg,

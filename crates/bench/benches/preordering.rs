@@ -33,5 +33,9 @@ fn bench_preorder_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_preorder_paper_examples, bench_preorder_scaling);
+criterion_group!(
+    benches,
+    bench_preorder_paper_examples,
+    bench_preorder_scaling
+);
 criterion_main!(benches);

@@ -12,7 +12,9 @@ fn main() {
         .unwrap_or(hrms_workloads::synthetic::PERFECT_CLUB_LOOP_COUNT);
     let loops = hrms_workloads::synthetic::perfect_club_like_sized(count);
     let fig = register_figure(&loops, FigureKind::Fig11StaticVariants);
-    println!("Figure 11 — static cumulative register requirements of loop variants ({count} loops)\n");
+    println!(
+        "Figure 11 — static cumulative register requirements of loop variants ({count} loops)\n"
+    );
     println!("{}", fig.render());
     println!("(paper: on average HRMS needs 87% of the registers of the Top-Down scheduler)");
 }

@@ -12,6 +12,8 @@ fn main() {
         .unwrap_or(hrms_workloads::synthetic::PERFECT_CLUB_LOOP_COUNT);
     let loops = hrms_workloads::synthetic::perfect_club_like_sized(count);
     let fig = register_figure(&loops, FigureKind::Fig12DynamicVariants);
-    println!("Figure 12 — dynamic cumulative register requirements of loop variants ({count} loops)\n");
+    println!(
+        "Figure 12 — dynamic cumulative register requirements of loop variants ({count} loops)\n"
+    );
     println!("{}", fig.render());
 }

@@ -4,10 +4,10 @@
 
 use std::time::Duration;
 
+use crate::must_schedule;
 use hrms_core::HrmsScheduler;
 use hrms_ddg::Ddg;
 use hrms_machine::presets;
-use crate::must_schedule;
 
 /// The Section 4.2 statistics over a loop suite.
 #[derive(Debug, Clone, PartialEq)]

@@ -208,8 +208,17 @@ impl Table1 {
             .collect();
         crate::render_table(
             &[
-                "loop", "ops", "MII", "HRMS II", "buf", "SPILP* II", "buf", "Slack II", "buf",
-                "FRLC II", "buf",
+                "loop",
+                "ops",
+                "MII",
+                "HRMS II",
+                "buf",
+                "SPILP* II",
+                "buf",
+                "Slack II",
+                "buf",
+                "FRLC II",
+                "buf",
             ],
             &rows,
         )
@@ -247,7 +256,10 @@ impl Table3 {
         crate::render_table(
             &["method", "total scheduling time (s)"],
             &[
-                vec!["HRMS".to_string(), format!("{:.3}", self.hrms.as_secs_f64())],
+                vec![
+                    "HRMS".to_string(),
+                    format!("{:.3}", self.hrms.as_secs_f64()),
+                ],
                 vec![
                     "SPILP*".to_string(),
                     format!("{:.3}", self.spilp.as_secs_f64()),
@@ -256,7 +268,10 @@ impl Table3 {
                     "Slack".to_string(),
                     format!("{:.3}", self.slack.as_secs_f64()),
                 ],
-                vec!["FRLC".to_string(), format!("{:.3}", self.frlc.as_secs_f64())],
+                vec![
+                    "FRLC".to_string(),
+                    format!("{:.3}", self.frlc.as_secs_f64()),
+                ],
             ],
         )
     }

@@ -79,7 +79,7 @@ pub struct RecurrenceSubgraph {
 impl RecurrenceSubgraph {
     /// Whether the subgraph consists solely of trivial (self-loop) circuits.
     pub fn is_trivial(&self) -> bool {
-        self.nodes.len() == 1 && self.backward_edges.iter().count() >= 1
+        self.nodes.len() == 1 && !self.backward_edges.is_empty()
     }
 }
 
@@ -117,7 +117,11 @@ impl RecurrenceInfo {
     /// Lower bound on the initiation interval imposed by the enumerated
     /// circuits (the paper's `RecMII`); 0 when the graph has no recurrence.
     pub fn rec_mii_lower_bound(&self) -> u64 {
-        self.circuits.iter().map(Circuit::rec_mii).max().unwrap_or(0)
+        self.circuits
+            .iter()
+            .map(Circuit::rec_mii)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether the graph has any recurrence circuit at all.
@@ -347,7 +351,11 @@ fn circuit_dfs(
     found
 }
 
-fn unblock(v: NodeId, blocked: &mut HashSet<NodeId>, block_map: &mut HashMap<NodeId, HashSet<NodeId>>) {
+fn unblock(
+    v: NodeId,
+    blocked: &mut HashSet<NodeId>,
+    block_map: &mut HashMap<NodeId, HashSet<NodeId>>,
+) {
     blocked.remove(&v);
     if let Some(dependents) = block_map.remove(&v) {
         for w in dependents {

@@ -37,7 +37,12 @@ pub fn to_dot(ddg: &Ddg, options: &DotOptions) -> String {
     let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
     for (id, node) in ddg.nodes() {
         let label = if options.show_latency {
-            format!("{}\\n{} λ={}", escape(node.name()), node.kind(), node.latency())
+            format!(
+                "{}\\n{} λ={}",
+                escape(node.name()),
+                node.kind(),
+                node.latency()
+            )
         } else {
             escape(node.name()).to_string()
         };

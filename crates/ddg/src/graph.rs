@@ -558,10 +558,7 @@ mod tests {
     #[test]
     fn induced_subgraph_rejects_bad_input() {
         let g = diamond();
-        assert!(matches!(
-            g.induced_subgraph(&[]),
-            Err(DdgError::EmptyGraph)
-        ));
+        assert!(matches!(g.induced_subgraph(&[]), Err(DdgError::EmptyGraph)));
         assert!(matches!(
             g.induced_subgraph(&[NodeId(99)]),
             Err(DdgError::InvalidNodeId { .. })

@@ -239,7 +239,10 @@ mod tests {
     fn mnemonics_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for kind in OpKind::ALL {
-            assert!(seen.insert(kind.mnemonic()), "duplicate mnemonic for {kind:?}");
+            assert!(
+                seen.insert(kind.mnemonic()),
+                "duplicate mnemonic for {kind:?}"
+            );
         }
     }
 

@@ -31,7 +31,6 @@ pub mod workgraph;
 
 pub use preorder::{pre_order, pre_order_with, PreOrderOptions, PreOrdering, StartNodePolicy};
 pub use scheduler::{
-    phase_split, program_order_scheduler, schedule_at_ii, HrmsOptions, HrmsScheduler,
-    OrderingMode,
+    phase_split, program_order_scheduler, schedule_at_ii, HrmsOptions, HrmsScheduler, OrderingMode,
 };
 pub use workgraph::WorkGraph;

@@ -274,10 +274,7 @@ mod tests {
     fn figure1() -> (Ddg, Vec<NodeId>) {
         let mut b = DdgBuilder::new("fig1");
         let names = ["A", "B", "C", "D", "E", "F", "G"];
-        let ids: Vec<NodeId> = names
-            .iter()
-            .map(|n| b.node(*n, OpKind::Other, 2))
-            .collect();
+        let ids: Vec<NodeId> = names.iter().map(|n| b.node(*n, OpKind::Other, 2)).collect();
         let e = |b: &mut DdgBuilder, s: usize, t: usize| {
             b.edge(ids[s], ids[t], DepKind::RegFlow, 0).unwrap();
         };
@@ -295,10 +292,7 @@ mod tests {
     fn figure7() -> (Ddg, Vec<NodeId>) {
         let mut b = DdgBuilder::new("fig7");
         let names = ["A", "B", "C", "D", "E", "F", "G", "H", "I", "J"];
-        let ids: Vec<NodeId> = names
-            .iter()
-            .map(|n| b.node(*n, OpKind::Other, 1))
-            .collect();
+        let ids: Vec<NodeId> = names.iter().map(|n| b.node(*n, OpKind::Other, 1)).collect();
         let idx = |c: char| (c as u8 - b'A') as usize;
         let e = |s: char, t: char, bld: &mut DdgBuilder| {
             bld.edge(ids[idx(s)], ids[idx(t)], DepKind::RegFlow, 0)
@@ -318,7 +312,10 @@ mod tests {
     }
 
     fn names(ddg: &Ddg, order: &[NodeId]) -> Vec<String> {
-        order.iter().map(|&n| ddg.node(n).name().to_string()).collect()
+        order
+            .iter()
+            .map(|&n| ddg.node(n).name().to_string())
+            .collect()
     }
 
     #[test]
@@ -366,8 +363,16 @@ mod tests {
         let p = pre_order(&g);
         let mut placed: HashSet<NodeId> = HashSet::new();
         for &n in &p.order {
-            let preds_in = g.predecessors(n).iter().filter(|p| placed.contains(p)).count();
-            let succs_in = g.successors(n).iter().filter(|s| placed.contains(s)).count();
+            let preds_in = g
+                .predecessors(n)
+                .iter()
+                .filter(|p| placed.contains(p))
+                .count();
+            let succs_in = g
+                .successors(n)
+                .iter()
+                .filter(|s| placed.contains(s))
+                .count();
             assert!(
                 preds_in == 0 || succs_in == 0,
                 "node {n} has both predecessors and successors already ordered"
@@ -508,12 +513,17 @@ mod tests {
             })
             .collect();
         for (_, e) in g.edges() {
-            b.edge(e.source(), e.target(), e.kind(), e.distance()).unwrap();
+            b.edge(e.source(), e.target(), e.kind(), e.distance())
+                .unwrap();
         }
         b.edge(ids[6], ids[6], DepKind::RegFlow, 1).unwrap();
         let g2 = b.build().unwrap();
         let p = pre_order(&g2);
-        let names: Vec<String> = p.order.iter().map(|&n| g2.node(n).name().to_string()).collect();
+        let names: Vec<String> = p
+            .order
+            .iter()
+            .map(|&n| g2.node(n).name().to_string())
+            .collect();
         assert_eq!(names, vec!["A", "B", "C", "D", "F", "E", "G"]);
     }
 
@@ -526,7 +536,10 @@ mod tests {
                 start_node: StartNodePolicy::Fixed(ids[4]),
             },
         );
-        assert_eq!(p.order[0], ids[4], "E was requested as the initial hypernode");
+        assert_eq!(
+            p.order[0], ids[4],
+            "E was requested as the initial hypernode"
+        );
         assert_eq!(p.order.len(), 7);
 
         let p = pre_order_with(

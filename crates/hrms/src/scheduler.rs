@@ -124,7 +124,9 @@ impl ModuloScheduler for HrmsScheduler {
 
         let max_ii = self.options.config.effective_max_ii(ddg, mii.mii());
         if max_ii < mii.mii() {
-            return Err(SchedError::NoValidSchedule { max_ii_tried: max_ii });
+            return Err(SchedError::NoValidSchedule {
+                max_ii_tried: max_ii,
+            });
         }
         // Robustness fallback order: the HRMS order can, on rare pathological
         // graphs, leave an operation with an empty placement window that no
@@ -147,7 +149,8 @@ impl ModuloScheduler for HrmsScheduler {
                     ordering_time,
                 ));
             }
-            let fallback = fallback_order.get_or_insert_with(|| earliest_start_order(ddg, mii.mii()));
+            let fallback =
+                fallback_order.get_or_insert_with(|| earliest_start_order(ddg, mii.mii()));
             if let Some(schedule) = schedule_at_ii(ddg, machine, fallback, ii) {
                 return Ok(ScheduleOutcome::new(
                     ddg,
@@ -171,8 +174,8 @@ impl ModuloScheduler for HrmsScheduler {
 /// all of its intra-iteration predecessors, so only loop-carried constraints
 /// can close a placement window — and those always open up as the II grows.
 fn earliest_start_order(ddg: &Ddg, ii: u32) -> Vec<NodeId> {
-    let est = hrms_modsched::mii::earliest_starts(ddg, ii)
-        .unwrap_or_else(|| vec![0; ddg.num_nodes()]);
+    let est =
+        hrms_modsched::mii::earliest_starts(ddg, ii).unwrap_or_else(|| vec![0; ddg.num_nodes()]);
     let mut order: Vec<NodeId> = ddg.node_ids().collect();
     order.sort_by_key(|n| (est[n.index()], n.index()));
     order
@@ -181,12 +184,7 @@ fn earliest_start_order(ddg: &Ddg, ii: u32) -> Vec<NodeId> {
 /// One pass of the scheduling step (Section 3.3) at a fixed II. Returns the
 /// schedule, or `None` if some node found no free slot (the caller then
 /// increases the II).
-pub fn schedule_at_ii(
-    ddg: &Ddg,
-    machine: &Machine,
-    order: &[NodeId],
-    ii: u32,
-) -> Option<Schedule> {
+pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, order: &[NodeId], ii: u32) -> Option<Schedule> {
     let mut partial = PartialSchedule::new(machine, ii);
     for &u in order {
         let early = partial.early_start(ddg, u);
@@ -206,9 +204,7 @@ pub fn schedule_at_ii(
             }
             (None, None) => partial.place_forward(ddg, machine, u, 0, ii),
         };
-        if placed.is_none() {
-            return None;
-        }
+        placed?;
     }
     Some(partial.into_schedule(ddg))
 }
@@ -270,8 +266,16 @@ mod tests {
         validate_schedule(&g, &m, s).unwrap();
 
         let lt = LifetimeAnalysis::analyze(&g, s);
-        assert_eq!(lt.live_at_row(0), 6, "paper: 6 alive registers in the first row");
-        assert_eq!(lt.live_at_row(1), 5, "paper: 5 alive registers in the second row");
+        assert_eq!(
+            lt.live_at_row(0),
+            6,
+            "paper: 6 alive registers in the first row"
+        );
+        assert_eq!(
+            lt.live_at_row(1),
+            5,
+            "paper: 5 alive registers in the second row"
+        );
         assert_eq!(lt.max_live(), 6);
     }
 
@@ -395,9 +399,9 @@ mod tests {
             chain_prev = Some(n);
             chain_nodes.push(n);
         }
-        for i in 0..6 {
+        for (i, &chain_node) in chain_nodes.iter().enumerate() {
             let src = b.node(format!("src{i}"), OpKind::Load, 2);
-            b.edge(src, chain_nodes[i], DepKind::RegFlow, 0).unwrap();
+            b.edge(src, chain_node, DepKind::RegFlow, 0).unwrap();
         }
         let g = b.build().unwrap();
         let m = presets::perfect_club();

@@ -149,7 +149,10 @@ impl WorkGraph {
     /// used by the path search so that paths running *through* the hypernode
     /// are not reported.
     pub fn without(&self, hidden: NodeId) -> HiddenNodeView<'_> {
-        HiddenNodeView { graph: self, hidden }
+        HiddenNodeView {
+            graph: self,
+            hidden,
+        }
     }
 
     /// A new work graph containing only `members` (those of them currently

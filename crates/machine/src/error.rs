@@ -36,7 +36,10 @@ impl fmt::Display for MachineError {
                 write!(f, "functional-unit class `{name}` has zero units")
             }
             MachineError::UnmappedOp { kind } => {
-                write!(f, "operation kind `{kind}` is not mapped to any functional unit")
+                write!(
+                    f,
+                    "operation kind `{kind}` is not mapped to any functional unit"
+                )
             }
             MachineError::ZeroLatency { kind } => {
                 write!(f, "operation kind `{kind}` was assigned latency zero")
@@ -53,9 +56,11 @@ mod tests {
 
     #[test]
     fn messages_mention_the_subject() {
-        assert!(MachineError::UnmappedOp { kind: OpKind::FpDiv }
-            .to_string()
-            .contains("fdiv"));
+        assert!(MachineError::UnmappedOp {
+            kind: OpKind::FpDiv
+        }
+        .to_string()
+        .contains("fdiv"));
         assert!(MachineError::EmptyClass {
             name: "adders".into()
         }

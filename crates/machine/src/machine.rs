@@ -143,7 +143,11 @@ impl fmt::Display for Machine {
                 i,
                 c.name,
                 c.count,
-                if c.pipelined { "pipelined" } else { "not pipelined" }
+                if c.pipelined {
+                    "pipelined"
+                } else {
+                    "not pipelined"
+                }
             )?;
         }
         Ok(())

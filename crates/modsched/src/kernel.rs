@@ -75,9 +75,7 @@ impl Kernel {
         for (r, row) in self.rows.iter().enumerate() {
             let ops: Vec<String> = row
                 .iter()
-                .map(|&(n, stage)| {
-                    format!("{}{}", ddg.node(n).name(), "'".repeat(stage as usize))
-                })
+                .map(|&(n, stage)| format!("{}{}", ddg.node(n).name(), "'".repeat(stage as usize)))
                 .collect();
             out.push_str(&format!("{r:>3} | {}\n", ops.join(" ")));
         }

@@ -61,12 +61,11 @@ impl ValueLifetime {
         let ii = i64::from(ii);
         let row = i64::from(row);
         // smallest k with row + k*II >= start  ->  k_min = ceil((start - row)/II)
-        let k_min = (self.start - row).div_euclid(ii)
-            + i64::from((self.start - row).rem_euclid(ii) != 0);
+        let k_min =
+            (self.start - row).div_euclid(ii) + i64::from((self.start - row).rem_euclid(ii) != 0);
         // largest k with row + k*II < end      ->  k_max = ceil((end - row)/II) - 1
-        let k_max = (self.end - row).div_euclid(ii)
-            + i64::from((self.end - row).rem_euclid(ii) != 0)
-            - 1;
+        let k_max =
+            (self.end - row).div_euclid(ii) + i64::from((self.end - row).rem_euclid(ii) != 0) - 1;
         (k_max - k_min + 1).max(0) as u64
     }
 }
@@ -101,8 +100,7 @@ impl LifetimeAnalysis {
             let mut has_consumer = false;
             for (consumer, distance) in ddg.consumers(id) {
                 has_consumer = true;
-                let consumer_issue =
-                    schedule.cycle(consumer) + i64::from(distance) * i64::from(ii);
+                let consumer_issue = schedule.cycle(consumer) + i64::from(distance) * i64::from(ii);
                 end = end.max(consumer_issue);
             }
             if has_consumer {
@@ -114,12 +112,7 @@ impl LifetimeAnalysis {
             }
         }
         let live_per_row: Vec<u64> = (0..ii)
-            .map(|row| {
-                lifetimes
-                    .iter()
-                    .map(|l| l.live_instances_at(ii, row))
-                    .sum()
-            })
+            .map(|row| lifetimes.iter().map(|l| l.live_instances_at(ii, row)).sum())
             .collect();
         let num_stores = ddg
             .nodes()
@@ -256,7 +249,13 @@ mod tests {
     #[test]
     fn live_instances_formula_matches_enumeration() {
         // Cross-check the closed-form instance count against brute force.
-        for (start, end, ii) in [(0i64, 5i64, 2u32), (1, 7, 3), (3, 4, 4), (2, 2, 3), (0, 12, 4)] {
+        for (start, end, ii) in [
+            (0i64, 5i64, 2u32),
+            (1, 7, 3),
+            (3, 4, 4),
+            (2, 2, 3),
+            (0, 12, 4),
+        ] {
             let l = ValueLifetime {
                 producer: NodeId(0),
                 start,

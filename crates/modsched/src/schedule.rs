@@ -27,7 +27,10 @@ impl Schedule {
     /// Panics if `cycles` is empty or `ii` is 0.
     pub fn new(ii: u32, cycles: Vec<i64>) -> Self {
         assert!(ii > 0, "the initiation interval must be at least 1");
-        assert!(!cycles.is_empty(), "a schedule needs at least one operation");
+        assert!(
+            !cycles.is_empty(),
+            "a schedule needs at least one operation"
+        );
         let min = *cycles.iter().min().expect("non-empty");
         let cycles = cycles.into_iter().map(|c| c - min).collect();
         Schedule { ii, cycles }
@@ -112,8 +115,7 @@ impl Schedule {
         if iterations == 0 {
             return 0;
         }
-        u64::from(self.stage_count() - 1) * u64::from(self.ii)
-            + iterations * u64::from(self.ii)
+        u64::from(self.stage_count() - 1) * u64::from(self.ii) + iterations * u64::from(self.ii)
     }
 
     /// The paper's execution-time estimate: `II × iterations`.

@@ -190,7 +190,10 @@ mod tests {
         // Both loads in the same modulo slot of the single load/store unit.
         let s = Schedule::new(2, vec![0, 2]);
         let err = validate_schedule(&g, &m, &s).unwrap_err();
-        assert!(matches!(err, ValidationError::ResourceOversubscribed { .. }));
+        assert!(matches!(
+            err,
+            ValidationError::ResourceOversubscribed { .. }
+        ));
         // Different slots are fine.
         let s = Schedule::new(2, vec![0, 1]);
         assert_eq!(validate_schedule(&g, &m, &s), Ok(()));
@@ -203,7 +206,10 @@ mod tests {
         let s = Schedule::new(1, vec![0, 2]);
         assert!(matches!(
             validate_schedule(&g, &m, &s),
-            Err(ValidationError::WrongLength { expected: 4, actual: 2 })
+            Err(ValidationError::WrongLength {
+                expected: 4,
+                actual: 2
+            })
         ));
     }
 

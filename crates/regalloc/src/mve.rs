@@ -84,9 +84,7 @@ impl ExpandedKernel {
         for copy in 0..factor {
             for (node, _) in schedule.iter() {
                 let row = copy * ii + schedule.row(node);
-                let register = block
-                    .get(&node)
-                    .map(|&(base, count)| base + (copy % count));
+                let register = block.get(&node).map(|&(base, count)| base + (copy % count));
                 rows[row as usize].push(ExpandedOp {
                     node,
                     copy,
@@ -220,7 +218,7 @@ mod tests {
         let k = ExpandedKernel::expand(&g, &s);
         let reg_of = |copy: u32| {
             (0..k.len_rows() as u32)
-                .flat_map(|r| k.row(r).iter().copied().collect::<Vec<_>>())
+                .flat_map(|r| k.row(r).to_vec())
                 .find(|op| op.node == NodeId(0) && op.copy == copy)
                 .and_then(|op| op.register)
                 .unwrap()
@@ -240,7 +238,7 @@ mod tests {
         let s = Schedule::new(1, vec![0, 1]);
         let k = ExpandedKernel::expand(&g, &s);
         let store_op = (0..k.len_rows() as u32)
-            .flat_map(|r| k.row(r).iter().copied().collect::<Vec<_>>())
+            .flat_map(|r| k.row(r).to_vec())
             .find(|op| op.node == NodeId(1))
             .unwrap();
         assert_eq!(store_op.register, None);

@@ -55,7 +55,7 @@ pub struct CumulativeDistribution {
 impl CumulativeDistribution {
     /// Builds a distribution from `(registers, weight)` samples.
     pub fn from_samples(mut samples: Vec<(u64, f64)>) -> Self {
-        samples.sort_by(|a, b| a.0.cmp(&b.0));
+        samples.sort_by_key(|a| a.0);
         let total_weight = samples.iter().map(|s| s.1).sum();
         CumulativeDistribution {
             samples,
@@ -95,11 +95,7 @@ impl CumulativeDistribution {
         if self.total_weight == 0.0 {
             return 0.0;
         }
-        self.samples
-            .iter()
-            .map(|(r, w)| *r as f64 * w)
-            .sum::<f64>()
-            / self.total_weight
+        self.samples.iter().map(|(r, w)| *r as f64 * w).sum::<f64>() / self.total_weight
     }
 
     /// The smallest register count `r` such that at least `q` (0..=1) of the

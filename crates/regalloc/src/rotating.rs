@@ -78,11 +78,7 @@ pub fn allocate_rotating(ddg: &Ddg, schedule: &Schedule) -> RotatingAllocation {
 
 /// Attempts an end-fit allocation with `size` rotating registers. Returns
 /// the chosen offsets, or `None` if some value cannot be placed.
-fn try_allocate(
-    values: &[&ValueLifetime],
-    size: u64,
-    ii: u64,
-) -> Option<HashMap<NodeId, u64>> {
+fn try_allocate(values: &[&ValueLifetime], size: u64, ii: u64) -> Option<HashMap<NodeId, u64>> {
     // `free_at[o]` = the cycle at which rotating offset `o` becomes free
     // (relative to the defining iteration of the previous occupant, after
     // unrotating). An offset `o` is usable for a value starting at `s` if
@@ -131,14 +127,7 @@ fn try_allocate(
 /// register `(o + k) mod size` during `[start + k·ii, end + k·ii)`. Two
 /// allocations conflict if any pair of instances shares a physical register
 /// while their intervals overlap.
-fn conflicts(
-    a: &ValueLifetime,
-    oa: u64,
-    b: &ValueLifetime,
-    ob: u64,
-    size: u64,
-    ii: u64,
-) -> bool {
+fn conflicts(a: &ValueLifetime, oa: u64, b: &ValueLifetime, ob: u64, size: u64, ii: u64) -> bool {
     // Instances of `a` at iteration 0 against instances of `b` at iteration
     // d, for every d with overlapping lifetimes; by rotation symmetry it is
     // enough to scan the relative iteration distance.
@@ -189,7 +178,10 @@ mod tests {
         let g = hrms_ddg::chain("chain", 5, OpKind::FpAdd, 1);
         let alloc = allocate_for(&g);
         assert!(alloc.registers >= alloc.max_live);
-        assert!(alloc.overhead() <= 1, "wands-only end-fit stays near MaxLive");
+        assert!(
+            alloc.overhead() <= 1,
+            "wands-only end-fit stays near MaxLive"
+        );
     }
 
     #[test]

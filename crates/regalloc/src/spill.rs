@@ -228,13 +228,9 @@ mod tests {
     fn no_spill_when_budget_is_generous() {
         let g = pressure_heavy();
         let m = presets::perfect_club();
-        let result = schedule_with_register_budget(
-            &g,
-            &m,
-            &HrmsScheduler::new(),
-            &SpillConfig::new(1000),
-        )
-        .unwrap();
+        let result =
+            schedule_with_register_budget(&g, &m, &HrmsScheduler::new(), &SpillConfig::new(1000))
+                .unwrap();
         assert!(result.fits);
         assert_eq!(result.rounds, 1);
         assert_eq!(result.spilled_values, 0);
@@ -253,7 +249,10 @@ mod tests {
         )
         .unwrap();
         let baseline = unlimited.registers(PressureKind::VariantsAndInvariants);
-        assert!(baseline > 4, "the test loop must actually be pressure-heavy");
+        assert!(
+            baseline > 4,
+            "the test loop must actually be pressure-heavy"
+        );
 
         let budget = baseline - 2;
         let result = schedule_with_register_budget(
@@ -263,9 +262,15 @@ mod tests {
             &SpillConfig::new(budget),
         )
         .unwrap();
-        assert!(result.fits, "spilling must eventually fit {budget} registers");
+        assert!(
+            result.fits,
+            "spilling must eventually fit {budget} registers"
+        );
         assert!(result.spilled_values > 0);
-        assert!(result.ddg.num_nodes() > g.num_nodes(), "spill code was added");
+        assert!(
+            result.ddg.num_nodes() > g.num_nodes(),
+            "spill code was added"
+        );
         validate_schedule(&result.ddg, &m, &result.outcome.schedule).unwrap();
         assert!(result.registers(PressureKind::VariantsAndInvariants) <= budget);
     }
@@ -281,13 +286,9 @@ mod tests {
             &SpillConfig::new(1000),
         )
         .unwrap();
-        let tight = schedule_with_register_budget(
-            &g,
-            &m,
-            &TopDownScheduler::new(),
-            &SpillConfig::new(6),
-        )
-        .unwrap();
+        let tight =
+            schedule_with_register_budget(&g, &m, &TopDownScheduler::new(), &SpillConfig::new(6))
+                .unwrap();
         assert!(
             tight.outcome.metrics.ii >= unlimited.outcome.metrics.ii,
             "extra memory traffic cannot make the loop faster"
@@ -307,9 +308,10 @@ mod tests {
         // 3 original nodes + 1 store + 2 reloads
         assert_eq!(spilled.num_nodes(), 6);
         // prod no longer feeds c0/c1 directly.
-        assert!(spilled.consumers(prod).iter().all(|(c, _)| {
-            spilled.node(*c).kind() == OpKind::Store
-        }));
+        assert!(spilled
+            .consumers(prod)
+            .iter()
+            .all(|(c, _)| { spilled.node(*c).kind() == OpKind::Store }));
         // each consumer is fed by exactly one load
         for c in [c0, c1] {
             let preds = spilled.predecessors(c);

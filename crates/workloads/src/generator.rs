@@ -46,7 +46,8 @@ impl Default for OpMix {
 
 impl OpMix {
     fn sample(&self, rng: &mut StdRng) -> OpKind {
-        let total = self.load + self.store + self.add + self.mul + self.div + self.sqrt + self.int_alu;
+        let total =
+            self.load + self.store + self.add + self.mul + self.div + self.sqrt + self.int_alu;
         let mut x: f64 = rng.gen::<f64>() * total;
         for (w, kind) in [
             (self.load, OpKind::Load),
@@ -191,10 +192,8 @@ impl LoopGenerator {
                     // Most loads are pure sources; some depend on an address
                     // computed by an earlier integer operation.
                     if rng.gen_bool(0.25) {
-                        if let Some(&addr) = producers
-                            .iter()
-                            .filter(|&&j| kinds[j] == OpKind::IntAlu)
-                            .last()
+                        if let Some(&addr) =
+                            producers.iter().rfind(|&&j| kinds[j] == OpKind::IntAlu)
                         {
                             b.edge(ids[addr], ids[i], DepKind::RegFlow, 0)
                                 .expect("indices are in range");
@@ -258,12 +257,12 @@ impl LoopGenerator {
                 let candidates: Vec<usize> = (0..size)
                     .filter(|&i| kinds[i].defines_value() && !parents[i].is_empty())
                     .collect();
-                let from = if let Some(&c) = candidates.get(rng.gen_range(0..candidates.len().max(1)).min(candidates.len().saturating_sub(1))) {
-                    c
-                } else {
+                let from = if candidates.is_empty() {
                     // No node has ancestors (degenerate tiny body): fall back
                     // to an accumulator-style self-recurrence.
                     *producers.first().unwrap_or(&0)
+                } else {
+                    candidates[rng.gen_range(0..candidates.len())]
                 };
                 let mut to = from;
                 if !parents[from].is_empty() {
@@ -292,7 +291,8 @@ impl LoopGenerator {
         let iters = (log_lo + rng.gen::<f64>() * (log_hi - log_lo)).exp() as u64;
         b.iteration_count(iters.max(1));
 
-        b.build().expect("generated loops are always structurally valid")
+        b.build()
+            .expect("generated loops are always structurally valid")
     }
 
     /// Generates `count` loop bodies.
@@ -339,7 +339,9 @@ mod tests {
             ..GeneratorConfig::default()
         };
         let loops = LoopGenerator::new(3, cfg).generate(100);
-        assert!(loops.iter().all(|g| g.num_nodes() >= 5 && g.num_nodes() <= 20));
+        assert!(loops
+            .iter()
+            .all(|g| g.num_nodes() >= 5 && g.num_nodes() <= 20));
         let mean: f64 =
             loops.iter().map(|g| g.num_nodes() as f64).sum::<f64>() / loops.len() as f64;
         assert!(mean > 6.0 && mean < 14.0, "mean size {mean} is off");
@@ -389,7 +391,13 @@ mod tests {
                 kinds.insert(n.kind());
             }
         }
-        for expected in [OpKind::Load, OpKind::Store, OpKind::FpAdd, OpKind::FpMul, OpKind::FpDiv] {
+        for expected in [
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::FpAdd,
+            OpKind::FpMul,
+            OpKind::FpDiv,
+        ] {
             assert!(kinds.contains(&expected), "{expected:?} never generated");
         }
     }

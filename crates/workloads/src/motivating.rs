@@ -7,7 +7,7 @@ use hrms_ddg::{Ddg, DdgBuilder, DepKind, NodeId, OpKind};
 /// Seven operations `A..G`; reconstructed from the scheduling walk-through
 /// of Section 2.1: `A→B`, `B→C`, `B→D`, `D→F`, `E→F`, `F→G`. On the
 /// 4-unit general-purpose machine with latency 2 (see
-/// [`hrms_machine::presets::general_purpose`]) its MII is 2, HRMS schedules
+/// `hrms_machine::presets::general_purpose`) its MII is 2, HRMS schedules
 /// it with 6 registers, Bottom-Up with 7 and Top-Down with 8.
 pub fn figure1() -> Ddg {
     let mut b = DdgBuilder::new("paper_fig1");
@@ -62,7 +62,14 @@ pub fn figure8b() -> Ddg {
         .iter()
         .map(|n| b.node(*n, OpKind::FpAdd, 1))
         .collect();
-    for (s, t, d) in [(0, 1, 0), (1, 2, 0), (2, 4, 0), (0, 3, 0), (3, 4, 0), (4, 0, 1)] {
+    for (s, t, d) in [
+        (0, 1, 0),
+        (1, 2, 0),
+        (2, 4, 0),
+        (0, 3, 0),
+        (3, 4, 0),
+        (4, 0, 1),
+    ] {
         b.edge(ids[s], ids[t], DepKind::RegFlow, d)
             .expect("figure 8b edges are valid");
     }
@@ -130,7 +137,13 @@ pub fn figure10_style() -> Ddg {
 
 /// Every motivating-example graph with its name, for harnesses that iterate.
 pub fn all() -> Vec<Ddg> {
-    vec![figure1(), figure7(), figure8b(), figure8c(), figure10_style()]
+    vec![
+        figure1(),
+        figure7(),
+        figure8b(),
+        figure8c(),
+        figure10_style(),
+    ]
 }
 
 #[cfg(test)]
@@ -151,7 +164,10 @@ mod tests {
         let g = figure7();
         let order = pre_order(&g).order;
         let names: Vec<&str> = order.iter().map(|&n| g.node(n).name()).collect();
-        assert_eq!(names, vec!["A", "C", "G", "H", "D", "J", "I", "E", "B", "F"]);
+        assert_eq!(
+            names,
+            vec!["A", "C", "G", "H", "D", "J", "I", "E", "B", "F"]
+        );
     }
 
     #[test]

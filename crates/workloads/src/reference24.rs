@@ -38,8 +38,11 @@ impl K {
 
     fn op(&mut self, kind: OpKind) -> NodeId {
         self.counter += 1;
-        self.b
-            .node(format!("{}{}", kind.mnemonic(), self.counter), kind, lat(kind))
+        self.b.node(
+            format!("{}{}", kind.mnemonic(), self.counter),
+            kind,
+            lat(kind),
+        )
     }
 
     fn load(&mut self) -> NodeId {

@@ -68,8 +68,7 @@ mod tests {
     fn a_sample_of_the_suite_is_schedulable_on_the_section42_machine() {
         let m = presets::perfect_club();
         for g in perfect_club_like_sized(60) {
-            MiiInfo::compute(&g, &m)
-                .unwrap_or_else(|e| panic!("loop `{}` invalid: {e}", g.name()));
+            MiiInfo::compute(&g, &m).unwrap_or_else(|e| panic!("loop `{}` invalid: {e}", g.name()));
         }
     }
 
@@ -80,8 +79,14 @@ mod tests {
             loops.iter().map(|g| g.num_nodes() as f64).sum::<f64>() / loops.len() as f64;
         assert!(mean_size > 8.0 && mean_size < 25.0, "mean size {mean_size}");
         let with_rec = loops.iter().filter(|g| g.has_recurrence()).count();
-        assert!(with_rec > 60 && with_rec < 240, "recurrent loops {with_rec}");
+        assert!(
+            with_rec > 60 && with_rec < 240,
+            "recurrent loops {with_rec}"
+        );
         let max_iter = loops.iter().map(|g| g.iteration_count()).max().unwrap();
-        assert!(max_iter > 1_000, "iteration counts should have a heavy tail");
+        assert!(
+            max_iter > 1_000,
+            "iteration counts should have a heavy tail"
+        );
     }
 }

@@ -22,7 +22,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{:<28} {:>4} {:>4} | {:>8} {:>6} | {:>8} {:>6} | {:>8} {:>6} | {:>8} {:>6}",
-        "loop", "ops", "MII", "HRMS II", "buf", "B&B II", "buf", "Slack II", "buf", "FRLC II", "buf"
+        "loop",
+        "ops",
+        "MII",
+        "HRMS II",
+        "buf",
+        "B&B II",
+        "buf",
+        "Slack II",
+        "buf",
+        "FRLC II",
+        "buf"
     );
     for ddg in reference24::all() {
         let h = hrms.schedule_loop(&ddg, &machine)?;

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.metrics.mii, outcome.metrics.res_mii, outcome.metrics.rec_mii, outcome.metrics.ii
     );
     println!("one-iteration schedule:\n{}", outcome.schedule.render(&ddg));
-    println!("steady-state kernel:\n{}", outcome.schedule.kernel().render(&ddg));
+    println!(
+        "steady-state kernel:\n{}",
+        outcome.schedule.kernel().render(&ddg)
+    );
 
     let lifetimes = LifetimeAnalysis::analyze(&ddg, &outcome.schedule);
     println!(

@@ -67,7 +67,9 @@ pub mod prelude {
         BottomUpScheduler, BranchAndBoundScheduler, FrlcScheduler, IterativeScheduler,
         SlackScheduler, TopDownScheduler,
     };
-    pub use hrms_core::{HrmsOptions, HrmsScheduler, OrderingMode, PreOrderOptions, StartNodePolicy};
+    pub use hrms_core::{
+        HrmsOptions, HrmsScheduler, OrderingMode, PreOrderOptions, StartNodePolicy,
+    };
     pub use hrms_ddg::{Ddg, DdgBuilder, DepKind, NodeId, OpKind};
     pub use hrms_machine::{presets, Machine, MachineBuilder, ResourceClass};
     pub use hrms_modsched::{

@@ -10,7 +10,10 @@ fn figure7_preordering_matches_the_paper() {
     let ddg = motivating::figure7();
     let order = hrms_repro::hrms::pre_order(&ddg).order;
     let names: Vec<&str> = order.iter().map(|&n| ddg.node(n).name()).collect();
-    assert_eq!(names, vec!["A", "C", "G", "H", "D", "J", "I", "E", "B", "F"]);
+    assert_eq!(
+        names,
+        vec!["A", "C", "G", "H", "D", "J", "I", "E", "B", "F"]
+    );
 }
 
 /// Section 2.1: on the motivating example HRMS needs 6 registers while the
@@ -22,8 +25,12 @@ fn motivating_example_register_counts() {
     let machine = presets::general_purpose();
 
     let hrms = HrmsScheduler::new().schedule_loop(&ddg, &machine).unwrap();
-    let topdown = TopDownScheduler::new().schedule_loop(&ddg, &machine).unwrap();
-    let bottomup = BottomUpScheduler::new().schedule_loop(&ddg, &machine).unwrap();
+    let topdown = TopDownScheduler::new()
+        .schedule_loop(&ddg, &machine)
+        .unwrap();
+    let bottomup = BottomUpScheduler::new()
+        .schedule_loop(&ddg, &machine)
+        .unwrap();
 
     assert_eq!(hrms.metrics.ii, 2);
     assert_eq!(topdown.metrics.ii, 2);
@@ -143,7 +150,11 @@ fn hrms_needs_fewer_registers_than_topdown_on_average() {
     let mut td_regs = 0u64;
     for ddg in &loops {
         hrms_regs += hrms.schedule_loop(ddg, &machine).unwrap().metrics.max_live;
-        td_regs += topdown.schedule_loop(ddg, &machine).unwrap().metrics.max_live;
+        td_regs += topdown
+            .schedule_loop(ddg, &machine)
+            .unwrap()
+            .metrics
+            .max_live;
     }
     assert!(
         hrms_regs < td_regs,

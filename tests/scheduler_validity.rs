@@ -2,8 +2,8 @@
 //! on every workload family, and the derived metrics are mutually
 //! consistent.
 
-use hrms_repro::prelude::*;
 use hrms_repro::baselines::all_baselines;
+use hrms_repro::prelude::*;
 
 fn all_schedulers() -> Vec<Box<dyn ModuloScheduler>> {
     let mut v: Vec<Box<dyn ModuloScheduler>> = vec![Box::new(HrmsScheduler::new())];
@@ -30,11 +30,9 @@ fn every_scheduler_produces_valid_schedules_on_every_workload() {
                 if scheduler.name().starts_with("B&B") && ddg.num_nodes() > 12 {
                     continue;
                 }
-                let outcome = scheduler
-                    .schedule_loop(&ddg, machine)
-                    .unwrap_or_else(|e| {
-                        panic!("{} failed on `{}`: {e}", scheduler.name(), ddg.name())
-                    });
+                let outcome = scheduler.schedule_loop(&ddg, machine).unwrap_or_else(|e| {
+                    panic!("{} failed on `{}`: {e}", scheduler.name(), ddg.name())
+                });
                 validate_schedule(&ddg, machine, &outcome.schedule).unwrap_or_else(|e| {
                     panic!(
                         "{} produced an invalid schedule on `{}`: {e}",

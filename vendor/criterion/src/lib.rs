@@ -1,0 +1,180 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: [`Criterion`], [`BenchmarkId`], benchmark
+//! groups with `bench_function` / `bench_with_input` / `sample_size` /
+//! `finish`, a [`Bencher`] with `iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal harness. It runs each benchmark closure for a
+//! fixed warm-up and a fixed number of timed samples and prints the
+//! median wall-clock time per iteration — enough to compare schedulers
+//! locally and to keep `cargo bench --no-run` honest in CI, without the
+//! real crate's statistics, plotting or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id made of a function name and a parameter value.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark id that is just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Times one benchmark closure, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass.
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        let median = bencher.median();
+        println!(
+            "{}/{id}: median {median:?} over {} samples",
+            self.name, self.sample_size
+        );
+    }
+
+    /// Benchmarks one closure under `id`.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(&mut self, id: I, mut routine: F) {
+        self.run(&id.to_string(), |b| routine(b));
+    }
+
+    /// Benchmarks one closure with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| routine(b, input));
+    }
+
+    /// Ends the group (a no-op here; the real crate prints summaries).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to every benchmark function, mirroring
+/// `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark executable, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("hrms", 24).to_string(), "hrms/24");
+        assert_eq!(BenchmarkId::from_parameter("fig1").to_string(), "fig1");
+    }
+
+    #[test]
+    fn groups_run_their_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("counts", |b| b.iter(|| runs += 1));
+        group.finish();
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(runs, 4);
+    }
+}

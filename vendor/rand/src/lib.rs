@@ -1,0 +1,270 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: [`rngs::StdRng`], [`Rng`] (`gen`, `gen_bool`, `gen_range`) and
+//! [`SeedableRng::seed_from_u64`].
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this deterministic implementation instead. The generator is
+//! xoshiro256++ seeded through SplitMix64 — high-quality, fast, and fully
+//! reproducible from a `u64` seed, which is all the workload generator
+//! (`hrms-workloads`) asks of it. It is **not** cryptographically secure
+//! and makes no attempt to produce the same streams as the real `StdRng`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Concrete random-number generators.
+pub mod rngs {
+    /// A deterministic pseudo-random generator (xoshiro256++).
+    ///
+    /// API-compatible with `rand::rngs::StdRng` for the operations used in
+    /// this workspace; the generated stream differs from the real crate.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference code).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seeding support for deterministic generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
+        // as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range by
+/// [`Rng::gen_range`].
+pub trait SampleRangeTarget: Copy {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRangeTarget for $t {
+            fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high - low) as u64;
+                // Multiply-shift range reduction (Lemire); the slight bias is
+                // irrelevant for workload generation.
+                let r = ((u128::from(rng.next_u64_impl()) * u128::from(span)) >> 64) as u64;
+                low + r as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRangeTarget for $t {
+            fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = high.abs_diff(low) as u64;
+                let r = ((u128::from(rng.next_u64_impl()) * u128::from(span)) >> 64) as u64;
+                low.wrapping_add(r as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+/// Types producible by [`Rng::gen`] under the standard distribution.
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample_standard(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut StdRng) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut StdRng) -> Self {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard(rng: &mut StdRng) -> Self {
+        rng.next_u64_impl()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 32) as u32
+    }
+}
+
+/// Range shapes accepted by [`Rng::gen_range`], mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleRangeTarget> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleRangeTarget + InclusiveEnd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range(rng, low, high.next_up())
+    }
+}
+
+/// Helper for sampling inclusive ranges: the successor of a value.
+pub trait InclusiveEnd: Copy {
+    /// `self + 1`, panicking on overflow (an inclusive range ending at the
+    /// type's maximum is not supported by this stub).
+    fn next_up(self) -> Self;
+}
+
+macro_rules! impl_inclusive_end {
+    ($($t:ty),*) => {$(
+        impl InclusiveEnd for $t {
+            fn next_up(self) -> Self {
+                self.checked_add(1)
+                    .expect("inclusive range ending at the type maximum is unsupported")
+            }
+        }
+    )*};
+}
+
+impl_inclusive_end!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing sampling interface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Samples a value of type `T` from the standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+
+    /// Samples uniformly from a half-open (`low..high`) or inclusive
+    /// (`low..=high`) range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool called with p = {p}");
+        self.gen::<f64>() < p
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.gen_range(3usize..13);
+            assert!((3..13).contains(&x));
+            seen[x - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values should be reachable");
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} hits");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
