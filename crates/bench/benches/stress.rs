@@ -1,0 +1,76 @@
+//! Large-loop stress benchmarks: the dense pre-ordering fast path against
+//! the preserved legacy implementation on 200–2000-operation loop bodies,
+//! and batch-scheduling throughput of the parallel engine.
+//!
+//! This is the benchmark backing the dense-representation acceptance
+//! criterion: on loops of ≥ 500 operations, `pre_order` end-to-end must be
+//! at least 2× faster than the legacy hash-based path (the measured margin
+//! is recorded in the README's Performance section). CI runs this bench
+//! with `-- --test` as a single-sample smoke check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrms_core::{pre_order, pre_order_legacy, HrmsScheduler};
+use hrms_engine::BatchEngine;
+use hrms_machine::presets;
+use hrms_workloads::synthetic;
+
+fn bench_preorder_dense_vs_legacy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stress_preorder");
+    group.sample_size(30);
+    for ddg in synthetic::stress_suite() {
+        let ops = ddg.num_nodes();
+        group.bench_with_input(BenchmarkId::new("dense", ops), &ddg, |b, ddg| {
+            b.iter(|| pre_order(std::hint::black_box(ddg)))
+        });
+        group.bench_with_input(BenchmarkId::new("legacy", ops), &ddg, |b, ddg| {
+            b.iter(|| pre_order_legacy(std::hint::black_box(ddg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stress_batch_engine");
+    group.sample_size(10);
+    // A mixed batch of mid-size loops: enough work per item that the scoped
+    // worker pool's speedup is visible over the spawn overhead.
+    let loops = synthetic::perfect_club_like_sized(192);
+    let machine = presets::perfect_club();
+    let scheduler = HrmsScheduler::new();
+    for workers in [1usize, 2, 4, 8] {
+        let engine = BatchEngine::with_workers(workers);
+        group.bench_with_input(
+            BenchmarkId::new("schedule_batch", workers),
+            &loops,
+            |b, loops| {
+                b.iter(|| {
+                    engine.must_schedule_batch(&scheduler, std::hint::black_box(loops), &machine)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stress_suite_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stress_schedule");
+    group.sample_size(10);
+    // End-to-end scheduling of the large-loop stress suite through the
+    // engine (pre-ordering + placement, all loops in parallel).
+    let loops = synthetic::stress_suite();
+    let machine = presets::perfect_club();
+    let scheduler = HrmsScheduler::new();
+    let engine = BatchEngine::new();
+    group.bench_function("stress_suite_parallel", |b| {
+        b.iter(|| engine.must_schedule_batch(&scheduler, std::hint::black_box(&loops), &machine))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preorder_dense_vs_legacy,
+    bench_batch_engine,
+    bench_stress_suite_scheduling
+);
+criterion_main!(benches);

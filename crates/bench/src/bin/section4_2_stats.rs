@@ -11,7 +11,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(hrms_workloads::synthetic::PERFECT_CLUB_LOOP_COUNT);
     let loops = hrms_workloads::synthetic::perfect_club_like_sized(count);
-    let stats = hrms_bench::section42::run(&loops);
+    // The phase-time split is a wall-clock measurement, so this report uses
+    // a single-worker engine: parallel workers would inflate the timings
+    // with core contention.
+    let stats = hrms_bench::section42::run_on(&hrms_engine::BatchEngine::with_workers(1), &loops);
     println!("Section 4.2 statistics — synthetic Perfect-Club-like suite ({count} loops)\n");
     println!("{}", stats.render());
     println!("(paper: 97.5% of loops at II = MII, II = 1.01 × MII, 98.4% dynamic efficiency,");

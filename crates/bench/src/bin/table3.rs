@@ -8,7 +8,14 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(100_000);
-    let table = hrms_bench::tables::run_table1(&hrms_workloads::reference24::all(), bb_budget);
+    // Table 3 reports wall-clock scheduling times, so the loops run on a
+    // single-worker engine: parallel workers would inflate every
+    // measurement with core contention.
+    let table = hrms_bench::tables::run_table1_on(
+        &hrms_engine::BatchEngine::with_workers(1),
+        &hrms_workloads::reference24::all(),
+        bb_budget,
+    );
     println!("Table 3 — total scheduling time (24 loops)\n");
     println!("{}", table.totals().render());
 }

@@ -4,9 +4,9 @@
 
 use std::time::Duration;
 
-use crate::must_schedule;
 use hrms_core::HrmsScheduler;
 use hrms_ddg::Ddg;
+use hrms_engine::BatchEngine;
 use hrms_machine::presets;
 
 /// The Section 4.2 statistics over a loop suite.
@@ -66,8 +66,15 @@ impl Section42Stats {
 }
 
 /// Schedules every loop with HRMS on the Section 4.2 machine and collects
-/// the statistics.
+/// the statistics, fanning the batch out across a [`BatchEngine`] worker
+/// pool.
 pub fn run(loops: &[Ddg]) -> Section42Stats {
+    run_on(&BatchEngine::new(), loops)
+}
+
+/// [`run`] on a caller-provided engine (e.g. a single-worker engine for
+/// contention-free phase-time measurements).
+pub fn run_on(engine: &BatchEngine, loops: &[Ddg]) -> Section42Stats {
     let machine = presets::perfect_club();
     let scheduler = HrmsScheduler::new();
     let mut stats = Section42Stats {
@@ -82,8 +89,10 @@ pub fn run(loops: &[Ddg]) -> Section42Stats {
     let mut ratio_sum = 0.0;
     let mut weighted_mii = 0u128;
     let mut weighted_ii = 0u128;
-    for ddg in loops {
-        let outcome = must_schedule(&scheduler, ddg, &machine);
+    // Schedule in parallel; fold the per-loop outcomes sequentially in input
+    // order so the floating-point accumulation is deterministic.
+    let outcomes = engine.must_schedule_batch(&scheduler, loops, &machine);
+    for (ddg, outcome) in loops.iter().zip(outcomes) {
         if outcome.metrics.ii_is_optimal() {
             stats.optimal_ii += 1;
         }

@@ -6,6 +6,7 @@ use std::time::Duration;
 use hrms_baselines::{BranchAndBoundScheduler, FrlcScheduler, SlackScheduler};
 use hrms_core::HrmsScheduler;
 use hrms_ddg::Ddg;
+use hrms_engine::BatchEngine;
 use hrms_machine::{presets, Machine};
 use hrms_modsched::{ModuloScheduler, SchedulerConfig};
 use hrms_workloads::reference24;
@@ -101,7 +102,18 @@ pub fn table1_machine() -> Machine {
 /// branch-and-bound search per II (the default of
 /// [`SchedulerConfig::default`] is exact for all 24 loops but slow; the
 /// quick harness uses a smaller cap).
+///
+/// The loops are scheduled in parallel through [`BatchEngine`]; rows come
+/// back in input order, so the rendered table is byte-stable. Note that the
+/// per-cell `time` fields are wall-clock measurements and can be mildly
+/// inflated by contention when many loops are in flight.
 pub fn run_table1(loops: &[Ddg], bb_budget: u64) -> Table1 {
+    run_table1_on(&BatchEngine::new(), loops, bb_budget)
+}
+
+/// [`run_table1`] on a caller-provided engine (e.g. a single-worker engine
+/// for contention-free timing measurements).
+pub fn run_table1_on(engine: &BatchEngine, loops: &[Ddg], bb_budget: u64) -> Table1 {
     let machine = table1_machine();
     let hrms = HrmsScheduler::new();
     let spilp = BranchAndBoundScheduler {
@@ -113,8 +125,7 @@ pub fn run_table1(loops: &[Ddg], bb_budget: u64) -> Table1 {
     let slack = SlackScheduler::new();
     let frlc = FrlcScheduler::new();
 
-    let mut rows = Vec::new();
-    for ddg in loops {
+    let rows = engine.map(loops, |_, ddg| {
         let cell = |s: &dyn ModuloScheduler| {
             let outcome = must_schedule(s, ddg, &machine);
             Cell {
@@ -123,9 +134,14 @@ pub fn run_table1(loops: &[Ddg], bb_budget: u64) -> Table1 {
                 time: outcome.elapsed,
             }
         };
-        let hrms_cell = cell(&hrms);
-        let mii = must_schedule(&hrms, ddg, &machine).metrics.mii;
-        rows.push(Table1Row {
+        let hrms_outcome = must_schedule(&hrms, ddg, &machine);
+        let mii = hrms_outcome.metrics.mii;
+        let hrms_cell = Cell {
+            ii: hrms_outcome.metrics.ii,
+            buffers: hrms_outcome.metrics.buffers,
+            time: hrms_outcome.elapsed,
+        };
+        Table1Row {
             name: ddg.name().to_string(),
             ops: ddg.num_nodes(),
             mii,
@@ -133,8 +149,8 @@ pub fn run_table1(loops: &[Ddg], bb_budget: u64) -> Table1 {
             spilp: cell(&spilp),
             slack: cell(&slack),
             frlc: cell(&frlc),
-        });
-    }
+        }
+    });
     Table1 { rows }
 }
 

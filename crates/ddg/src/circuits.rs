@@ -390,10 +390,16 @@ fn group_into_subgraphs(circuits: &[Circuit]) -> Vec<RecurrenceSubgraph> {
             }
         })
         .collect();
+    // The sort key must be total: subgraphs can tie on both RecMII and first
+    // node (e.g. a short circuit and a longer one through the same head),
+    // and the groups come out of a randomly-seeded HashMap, so any tie left
+    // to the incoming order would make the analysis non-deterministic across
+    // runs. The backward-edge set is the grouping key and therefore unique.
     subgraphs.sort_by(|a, b| {
         b.rec_mii
             .cmp(&a.rec_mii)
-            .then_with(|| a.nodes.first().cmp(&b.nodes.first()))
+            .then_with(|| a.nodes.cmp(&b.nodes))
+            .then_with(|| a.backward_edges.cmp(&b.backward_edges))
     });
     subgraphs
 }

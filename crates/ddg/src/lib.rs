@@ -48,6 +48,7 @@
 
 pub mod builder;
 pub mod circuits;
+pub mod dense;
 pub mod dot;
 pub mod edge;
 pub mod error;
@@ -59,6 +60,7 @@ pub mod topo;
 
 pub use builder::DdgBuilder;
 pub use circuits::{Circuit, RecurrenceInfo, RecurrenceSubgraph};
+pub use dense::{Csr, DenseAdjacency, NodeSet};
 pub use edge::{DepKind, Edge, EdgeId};
 pub use error::DdgError;
 pub use graph::{chain, Ddg, DdgSummary, GraphView};

@@ -48,8 +48,15 @@ pub fn search_all_paths<G: GraphView>(graph: &G, seeds: &[NodeId]) -> HashSet<No
 fn reachable<G: GraphView>(graph: &G, from: &[NodeId], dir: Dir) -> HashSet<NodeId> {
     let mut visited: HashSet<NodeId> = HashSet::new();
     let mut queue: VecDeque<NodeId> = VecDeque::new();
+    // Deduplicate the seed frontier: a seed passed twice (e.g. the hypernode
+    // arriving both explicitly and via `seeds.extend`) must be traversed
+    // once, not once per occurrence — without this, duplicate seeds re-walk
+    // their whole reachable set.
+    let mut seeded: HashSet<NodeId> = HashSet::new();
     for &s in from {
-        queue.push_back(s);
+        if seeded.insert(s) {
+            queue.push_back(s);
+        }
     }
     // Note: seeds are enqueued but only *neighbours* get marked, so a seed is
     // in the result set only if some other seed (or itself via a cycle)
@@ -188,6 +195,55 @@ mod tests {
         let result = search_all_paths(&g, &[a]);
         // a -> b -> a is a path from a to a, so b is "between" seeds.
         assert!(result.contains(&b));
+    }
+
+    /// Counts adjacency queries so the tests can observe how much work a
+    /// traversal did.
+    struct CountingView<'a> {
+        inner: &'a crate::Ddg,
+        queries: std::cell::Cell<usize>,
+    }
+
+    impl GraphView for CountingView<'_> {
+        fn node_bound(&self) -> usize {
+            self.inner.node_bound()
+        }
+
+        fn contains(&self, n: NodeId) -> bool {
+            GraphView::contains(self.inner, n)
+        }
+
+        fn successors_of(&self, n: NodeId) -> Vec<NodeId> {
+            self.queries.set(self.queries.get() + 1);
+            self.inner.successors_of(n)
+        }
+
+        fn predecessors_of(&self, n: NodeId) -> Vec<NodeId> {
+            self.queries.set(self.queries.get() + 1);
+            self.inner.predecessors_of(n)
+        }
+    }
+
+    #[test]
+    fn duplicate_seeds_are_traversed_once() {
+        let g = crate::graph::chain("chain", 12, OpKind::FpAdd, 1);
+        let first = NodeId(0);
+        let last = NodeId(11);
+        let deduped = search_all_paths(&g, &[first, last]);
+        let duplicated = search_all_paths(&g, &[first, first, last, last, first]);
+        assert_eq!(deduped, duplicated, "duplicates must not change the result");
+
+        // With the seed frontier deduplicated, each direction queries the
+        // adjacency of each seed exactly once (plus once per reached node).
+        let view = CountingView {
+            inner: &g,
+            queries: std::cell::Cell::new(0),
+        };
+        search_all_paths(&view, &[first, first, first, last]);
+        // Forward sweep: 13 pops (2 distinct seeds + the 11 nodes the BFS
+        // discovers), backward symmetric; without dedup the extra copies of
+        // `first` would each be popped and queried again.
+        assert_eq!(view.queries.get(), 26);
     }
 
     #[test]

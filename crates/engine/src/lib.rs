@@ -1,0 +1,263 @@
+//! Parallel batch scheduling engine.
+//!
+//! The evaluation harness (and any production deployment serving many loops
+//! at once) schedules hundreds to thousands of independent loop bodies per
+//! run. Each loop is a self-contained unit of work — the schedulers take
+//! `&Ddg` and `&Machine` and share no mutable state — so a batch
+//! parallelises trivially. [`BatchEngine`] runs a batch across a
+//! [`std::thread::scope`] worker pool:
+//!
+//! * **Deterministic output order.** Results come back in input order, no
+//!   matter how the items were interleaved across workers, so reports and
+//!   differential tests are byte-stable.
+//! * **Work stealing via an atomic cursor.** Workers pull the next unclaimed
+//!   index, so a batch of wildly different loop sizes load-balances without
+//!   any up-front partitioning.
+//! * **No spawn overhead for trivial batches.** Batches of one item (or an
+//!   engine configured with one worker) run inline on the caller's thread.
+//!
+//! ```
+//! use hrms_engine::BatchEngine;
+//!
+//! let engine = BatchEngine::with_workers(4);
+//! let squares = engine.map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hrms_ddg::Ddg;
+use hrms_machine::Machine;
+use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome};
+
+/// A fixed-size scoped-thread worker pool for batches of independent work
+/// items. See the crate docs for the guarantees.
+#[derive(Debug, Clone)]
+pub struct BatchEngine {
+    workers: usize,
+}
+
+impl BatchEngine {
+    /// An engine sized to the machine's available parallelism (at least 1).
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        BatchEngine { workers }
+    }
+
+    /// An engine with exactly `workers` workers (0 is clamped to 1; 1 means
+    /// fully sequential, inline execution).
+    pub fn with_workers(workers: usize) -> Self {
+        BatchEngine {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item and returns the results **in input order**.
+    ///
+    /// `f` receives the item's index and a reference to it. Items are
+    /// claimed by workers through an atomic cursor, so the call order across
+    /// workers is unspecified — `f` must not rely on it (the schedulers do
+    /// not: each loop is independent).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` after all workers have stopped.
+    pub fn map<I, O, F>(&self, items: &[I], f: F) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(usize, &I) -> O + Sync,
+    {
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let buckets: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut produced: Vec<(usize, O)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            produced.push((i, f(i, &items[i])));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(bucket) => bucket,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        // Merge the per-worker buckets back into input order.
+        let mut slots: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+        for (i, out) in buckets.into_iter().flatten() {
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Schedules every loop of `loops` with `scheduler` on `machine`,
+    /// returning per-loop outcomes in input order.
+    pub fn schedule_batch<S>(
+        &self,
+        scheduler: &S,
+        loops: &[Ddg],
+        machine: &Machine,
+    ) -> Vec<Result<ScheduleOutcome, SchedError>>
+    where
+        S: ModuloScheduler + Sync + ?Sized,
+    {
+        self.map(loops, |_, ddg| scheduler.schedule_loop(ddg, machine))
+    }
+
+    /// Like [`BatchEngine::schedule_batch`] but panicking on the first loop
+    /// that fails to schedule — for harness inputs that are known to be
+    /// schedulable.
+    pub fn must_schedule_batch<S>(
+        &self,
+        scheduler: &S,
+        loops: &[Ddg],
+        machine: &Machine,
+    ) -> Vec<ScheduleOutcome>
+    where
+        S: ModuloScheduler + Sync + ?Sized,
+    {
+        self.schedule_batch(scheduler, loops, machine)
+            .into_iter()
+            .zip(loops)
+            .map(|(result, ddg)| {
+                result.unwrap_or_else(|e| {
+                    panic!(
+                        "scheduler `{}` failed on loop `{}`: {e}",
+                        scheduler.name(),
+                        ddg.name()
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrms_core::HrmsScheduler;
+    use hrms_machine::presets;
+    use hrms_workloads::LoopGenerator;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let engine = BatchEngine::with_workers(8);
+        let items: Vec<usize> = (0..257).collect();
+        let out = engine.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one_and_runs_inline() {
+        let engine = BatchEngine::with_workers(0);
+        assert_eq!(engine.workers(), 1);
+        let out = engine.map(&[10, 20], |i, &x| x + i);
+        assert_eq!(out, vec![10, 21]);
+    }
+
+    #[test]
+    fn empty_and_single_batches_work() {
+        let engine = BatchEngine::with_workers(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(engine.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(engine.map(&[7u32], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn parallel_batch_equals_sequential_batch() {
+        let loops = LoopGenerator::with_seed(11).generate(40);
+        let machine = presets::perfect_club();
+        let scheduler = HrmsScheduler::new();
+        let sequential = BatchEngine::with_workers(1).schedule_batch(&scheduler, &loops, &machine);
+        let parallel = BatchEngine::with_workers(8).schedule_batch(&scheduler, &loops, &machine);
+        assert_eq!(sequential.len(), parallel.len());
+        for ((s, p), ddg) in sequential.iter().zip(&parallel).zip(&loops) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            // Everything but the wall-clock timings must be identical.
+            assert_eq!(s.metrics, p.metrics, "loop `{}`", ddg.name());
+            assert_eq!(s.schedule, p.schedule, "loop `{}`", ddg.name());
+        }
+    }
+
+    #[test]
+    fn errors_land_in_the_right_slot() {
+        use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+        let good = hrms_ddg::chain("good", 4, OpKind::FpAdd, 1);
+        // A zero-distance cycle is rejected by the MII computation.
+        let mut b = DdgBuilder::new("bad");
+        let x = b.node("x", OpKind::FpAdd, 1);
+        let y = b.node("y", OpKind::FpAdd, 1);
+        b.edge(x, y, DepKind::RegFlow, 0).unwrap();
+        b.edge(y, x, DepKind::RegFlow, 0).unwrap();
+        let bad = b.build().unwrap();
+
+        let loops = vec![good.clone(), bad, good];
+        let engine = BatchEngine::with_workers(3);
+        let results =
+            engine.schedule_batch(&HrmsScheduler::new(), &loops, &presets::perfect_club());
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err(), "the malformed loop fails");
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn must_schedule_batch_unwraps_outcomes() {
+        let loops = LoopGenerator::with_seed(3).generate(12);
+        let engine = BatchEngine::with_workers(4);
+        let outcomes =
+            engine.must_schedule_batch(&HrmsScheduler::new(), &loops, &presets::perfect_club());
+        assert_eq!(outcomes.len(), loops.len());
+        for (o, ddg) in outcomes.iter().zip(&loops) {
+            assert_eq!(o.schedule.len(), ddg.num_nodes());
+        }
+    }
+
+    #[test]
+    fn dyn_schedulers_are_accepted() {
+        let loops = LoopGenerator::with_seed(5).generate(6);
+        let scheduler: Box<dyn ModuloScheduler + Sync> = Box::new(HrmsScheduler::new());
+        let engine = BatchEngine::with_workers(2);
+        let results = engine.schedule_batch(&*scheduler, &loops, &presets::perfect_club());
+        assert!(results.iter().all(Result::is_ok));
+    }
+}

@@ -1,0 +1,514 @@
+//! The original `HashMap`/`BTreeSet`-based pre-ordering implementation,
+//! preserved verbatim (modulo the shared disconnected-remainder bugfix) as
+//! the reference for differential testing of the dense fast path.
+//!
+//! [`crate::preorder`] now runs on the dense bitset representation of
+//! [`crate::workgraph`]; this module keeps the pointer-chasing original so
+//! that
+//!
+//! * the differential tests (and the `verify-dense` feature gate) can assert
+//!   the two paths produce **byte-identical** [`PreOrdering`] results on the
+//!   reference suite and on thousands of generated loops, and
+//! * the stress benchmarks can measure the speedup of the dense path against
+//!   a faithful baseline.
+//!
+//! Do not extend this module with new functionality: algorithmic changes go
+//! to [`crate::preorder`] and must be mirrored here only when they change
+//! the *output* (as the fallback-reference bugfix did), so the two paths
+//! keep agreeing.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use hrms_ddg::{search_all_paths, sort_asap, sort_pala, Ddg, GraphView, NodeId, RecurrenceInfo};
+
+use crate::preorder::{backward_edges, PreOrderOptions, PreOrdering};
+
+/// Pre-orders the nodes of `ddg` with the default options, using the legacy
+/// hash-based work graph. Produces exactly the same result as
+/// [`crate::preorder::pre_order`].
+pub fn pre_order_legacy(ddg: &Ddg) -> PreOrdering {
+    pre_order_legacy_with(ddg, &PreOrderOptions::default())
+}
+
+/// Pre-orders the nodes of `ddg` using the legacy hash-based work graph.
+/// Produces exactly the same result as [`crate::preorder::pre_order_with`].
+pub fn pre_order_legacy_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
+    let rec_info = RecurrenceInfo::analyze(ddg);
+    let dropped = backward_edges(ddg);
+    let simplified = rec_info.simplified_node_lists();
+
+    // Components ordered by the most restrictive recurrence they contain.
+    let mut components = ddg.connected_components();
+    let component_priority: Vec<u64> = components
+        .iter()
+        .map(|comp| {
+            let members: HashSet<NodeId> = comp.iter().copied().collect();
+            rec_info
+                .subgraphs
+                .iter()
+                .filter(|sg| sg.nodes.iter().all(|n| members.contains(n)))
+                .map(|sg| sg.rec_mii)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut component_order: Vec<usize> = (0..components.len()).collect();
+    component_order.sort_by(|&a, &b| {
+        component_priority[b]
+            .cmp(&component_priority[a])
+            .then_with(|| components[a][0].cmp(&components[b][0]))
+    });
+    let num_components = components.len();
+
+    let mut order: Vec<NodeId> = Vec::with_capacity(ddg.num_nodes());
+    let mut ordered: HashSet<NodeId> = HashSet::with_capacity(ddg.num_nodes());
+    let mut recurrence_subgraphs = 0usize;
+
+    for ci in component_order {
+        let component = std::mem::take(&mut components[ci]);
+        let member_set: HashSet<NodeId> = component.iter().copied().collect();
+        let mut work = LegacyWorkGraph::new(ddg, &component, &dropped);
+
+        // Recurrence subgraph node lists that live in this component,
+        // already sorted by decreasing RecMII by `simplified_node_lists`.
+        let lists: Vec<&Vec<NodeId>> = simplified
+            .iter()
+            .filter(|l| member_set.contains(&l[0]))
+            .collect();
+
+        let h = if let Some(first_list) = lists.first() {
+            recurrence_subgraphs += lists.len();
+            // --- Ordering_Recurrences (Section 3.2) ---
+            let h = first_list[0];
+            push(&mut order, &mut ordered, h);
+            // Order the most restrictive recurrence subgraph on its own.
+            let region: BTreeSet<NodeId> = first_list.iter().copied().collect();
+            order_region(ddg, &mut work, &region, h, &mut order, &mut ordered);
+
+            // Then bring in the remaining recurrence subgraphs one by one,
+            // together with the nodes on paths connecting them to the
+            // hypernode.
+            for list in lists.iter().skip(1) {
+                let mut seeds: Vec<NodeId> = vec![h];
+                seeds.extend(list.iter().copied());
+                let mut region: BTreeSet<NodeId> =
+                    search_all_paths(&work, &seeds).into_iter().collect();
+                region.extend(list.iter().copied());
+                region.insert(h);
+                order_region(ddg, &mut work, &region, h, &mut order, &mut ordered);
+            }
+            h
+        } else {
+            // No recurrences: pick the initial hypernode per policy.
+            let h = options.start_node.pick(&component);
+            push(&mut order, &mut ordered, h);
+            h
+        };
+
+        // Order whatever is left of the component around the hypernode
+        // (Section 3.1).
+        pre_order_connected(ddg, &mut work, h, &mut order, &mut ordered);
+    }
+
+    PreOrdering {
+        order,
+        components: num_components,
+        recurrence_subgraphs,
+    }
+}
+
+fn push(order: &mut Vec<NodeId>, ordered: &mut HashSet<NodeId>, n: NodeId) {
+    order.push(n);
+    ordered.insert(n);
+}
+
+/// Orders the sub-region `region` of `work` around the hypernode `h`.
+fn order_region(
+    ddg: &Ddg,
+    work: &mut LegacyWorkGraph,
+    region: &BTreeSet<NodeId>,
+    h: NodeId,
+    order: &mut Vec<NodeId>,
+    ordered: &mut HashSet<NodeId>,
+) {
+    let mut temp = work.restricted(region);
+    temp.ensure_node(h);
+    pre_order_connected(ddg, &mut temp, h, order, ordered);
+    let others: Vec<NodeId> = region.iter().copied().filter(|&n| n != h).collect();
+    for &n in &others {
+        work.ensure_node(n);
+    }
+    work.reduce(&others, h);
+}
+
+/// Whether `n` has any neighbour (predecessor or successor in the full,
+/// undropped dependence graph) that is already ordered.
+fn has_ordered_reference(ddg: &Ddg, n: NodeId, ordered: &HashSet<NodeId>) -> bool {
+    ddg.predecessors(n)
+        .into_iter()
+        .chain(ddg.successors(n))
+        .any(|m| ordered.contains(&m))
+}
+
+/// The paper's `Pre_Ordering` function (Figure 5) on the legacy work graph.
+fn pre_order_connected(
+    ddg: &Ddg,
+    work: &mut LegacyWorkGraph,
+    h: NodeId,
+    order: &mut Vec<NodeId>,
+    ordered: &mut HashSet<NodeId>,
+) {
+    loop {
+        let preds = work.predecessors_of(h);
+        if !preds.is_empty() {
+            let region = neighbour_region(work, h, &preds);
+            let sorted = sort_pala(&work.without(h), &region)
+                .expect("the work graph is acyclic once backward edges are removed");
+            work.reduce(&region, h);
+            for n in sorted {
+                push(order, ordered, n);
+            }
+        }
+
+        let succs = work.successors_of(h);
+        if !succs.is_empty() {
+            let region = neighbour_region(work, h, &succs);
+            let sorted = sort_asap(&work.without(h), &region)
+                .expect("the work graph is acyclic once backward edges are removed");
+            work.reduce(&region, h);
+            for n in sorted {
+                push(order, ordered, n);
+            }
+        }
+
+        if work.predecessors_of(h).is_empty() && work.successors_of(h).is_empty() {
+            if work.len() <= 1 {
+                break;
+            }
+            // Disconnected remainder (only reachable through dropped backward
+            // edges): absorb the lowest-numbered remaining node that has an
+            // already-ordered neighbour in the *undropped* graph, so it still
+            // gets a reference operation; fall back to the lowest-numbered
+            // node only for truly disconnected leftovers.
+            let remaining: Vec<NodeId> = work.nodes().into_iter().filter(|&n| n != h).collect();
+            let next = remaining
+                .iter()
+                .copied()
+                .find(|&n| has_ordered_reference(ddg, n, ordered))
+                .unwrap_or_else(|| remaining[0]);
+            push(order, ordered, next);
+            work.reduce(&[next], h);
+        }
+    }
+}
+
+/// The region absorbed together with the hypernode's predecessors
+/// (successors): the neighbours themselves plus every node lying on a path
+/// among them or between them and the hypernode.
+fn neighbour_region(work: &LegacyWorkGraph, h: NodeId, neighbours: &[NodeId]) -> Vec<NodeId> {
+    let mut seeds: Vec<NodeId> = neighbours.to_vec();
+    seeds.push(h);
+    let mut region: Vec<NodeId> = search_all_paths(work, &seeds)
+        .into_iter()
+        .filter(|&n| n != h)
+        .collect();
+    region.sort();
+    region
+}
+
+/// The original hash-based mutable work graph (see [`crate::WorkGraph`] for
+/// the dense replacement and the documentation of the reduction operation).
+#[derive(Debug, Clone)]
+pub struct LegacyWorkGraph {
+    /// Successor sets, keyed by live node. `BTreeSet` keeps traversal
+    /// deterministic.
+    succs: HashMap<NodeId, BTreeSet<NodeId>>,
+    /// Predecessor sets, keyed by live node.
+    preds: HashMap<NodeId, BTreeSet<NodeId>>,
+    /// Upper bound on node ids (from the original graph).
+    bound: usize,
+}
+
+impl LegacyWorkGraph {
+    /// Builds a work graph containing `members` and every edge of `ddg`
+    /// whose endpoints are both in `members`, **excluding** the edges listed
+    /// in `dropped_edges` (the backward edges of recurrence circuits) and
+    /// self-loops.
+    pub fn new(ddg: &Ddg, members: &[NodeId], dropped_edges: &HashSet<hrms_ddg::EdgeId>) -> Self {
+        let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+        let mut succs: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        let mut preds: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        for &m in &member_set {
+            succs.insert(m, BTreeSet::new());
+            preds.insert(m, BTreeSet::new());
+        }
+        for (eid, e) in ddg.edges() {
+            if dropped_edges.contains(&eid) || e.is_self_loop() {
+                continue;
+            }
+            let (s, t) = (e.source(), e.target());
+            if member_set.contains(&s) && member_set.contains(&t) {
+                succs.get_mut(&s).expect("member").insert(t);
+                preds.get_mut(&t).expect("member").insert(s);
+            }
+        }
+        LegacyWorkGraph {
+            succs,
+            preds,
+            bound: ddg.num_nodes(),
+        }
+    }
+
+    /// Number of nodes still present.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The live nodes, in ascending id order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.succs.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Reduces `set` into the hypernode `h` (see [`crate::WorkGraph::reduce`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not present in the graph.
+    pub fn reduce(&mut self, set: &[NodeId], h: NodeId) {
+        assert!(
+            self.succs.contains_key(&h),
+            "hypernode {h} is not in the work graph"
+        );
+        let victims: BTreeSet<NodeId> = set
+            .iter()
+            .copied()
+            .filter(|&v| v != h && self.succs.contains_key(&v))
+            .collect();
+        for &v in &victims {
+            let out = self.succs.remove(&v).unwrap_or_default();
+            let inc = self.preds.remove(&v).unwrap_or_default();
+            for t in out {
+                if let Some(p) = self.preds.get_mut(&t) {
+                    p.remove(&v);
+                }
+                if t == h || victims.contains(&t) {
+                    continue;
+                }
+                // redirect v -> t into h -> t
+                self.succs.get_mut(&h).expect("h present").insert(t);
+                self.preds.get_mut(&t).expect("t present").insert(h);
+            }
+            for s in inc {
+                if let Some(sset) = self.succs.get_mut(&s) {
+                    sset.remove(&v);
+                }
+                if s == h || victims.contains(&s) {
+                    continue;
+                }
+                // redirect s -> v into s -> h
+                self.succs.get_mut(&s).expect("s present").insert(h);
+                self.preds.get_mut(&h).expect("h present").insert(s);
+            }
+        }
+        // Drop any edge between h and itself that redirection may have
+        // introduced.
+        self.succs.get_mut(&h).expect("h present").remove(&h);
+        self.preds.get_mut(&h).expect("h present").remove(&h);
+    }
+
+    /// Ensures `extra` is present; inserts it with no edges if it was
+    /// absent. Returns whether it was inserted.
+    pub fn ensure_node(&mut self, extra: NodeId) -> bool {
+        if self.succs.contains_key(&extra) {
+            return false;
+        }
+        self.succs.insert(extra, BTreeSet::new());
+        self.preds.insert(extra, BTreeSet::new());
+        true
+    }
+
+    /// A read-only view of this graph that hides one node.
+    pub fn without(&self, hidden: NodeId) -> LegacyHiddenNodeView<'_> {
+        LegacyHiddenNodeView {
+            graph: self,
+            hidden,
+        }
+    }
+
+    /// A new work graph containing only `members` (those of them currently
+    /// present) and the edges of this graph whose endpoints are both kept.
+    pub fn restricted(&self, members: &BTreeSet<NodeId>) -> LegacyWorkGraph {
+        let mut succs: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        let mut preds: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        for &m in members {
+            if !self.succs.contains_key(&m) {
+                continue;
+            }
+            succs.insert(
+                m,
+                self.succs[&m]
+                    .iter()
+                    .copied()
+                    .filter(|t| members.contains(t))
+                    .collect(),
+            );
+            preds.insert(
+                m,
+                self.preds[&m]
+                    .iter()
+                    .copied()
+                    .filter(|s| members.contains(s))
+                    .collect(),
+            );
+        }
+        LegacyWorkGraph {
+            succs,
+            preds,
+            bound: self.bound,
+        }
+    }
+}
+
+impl GraphView for LegacyWorkGraph {
+    fn node_bound(&self) -> usize {
+        self.bound
+    }
+
+    fn contains(&self, n: NodeId) -> bool {
+        self.succs.contains_key(&n)
+    }
+
+    fn successors_of(&self, n: NodeId) -> Vec<NodeId> {
+        self.succs
+            .get(&n)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn predecessors_of(&self, n: NodeId) -> Vec<NodeId> {
+        self.preds
+            .get(&n)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A [`GraphView`] over a [`LegacyWorkGraph`] with one node hidden.
+#[derive(Debug, Clone, Copy)]
+pub struct LegacyHiddenNodeView<'a> {
+    graph: &'a LegacyWorkGraph,
+    hidden: NodeId,
+}
+
+impl GraphView for LegacyHiddenNodeView<'_> {
+    fn node_bound(&self) -> usize {
+        self.graph.node_bound()
+    }
+
+    fn contains(&self, n: NodeId) -> bool {
+        n != self.hidden && self.graph.contains(n)
+    }
+
+    fn successors_of(&self, n: NodeId) -> Vec<NodeId> {
+        if n == self.hidden {
+            return Vec::new();
+        }
+        self.graph
+            .successors_of(n)
+            .into_iter()
+            .filter(|&s| s != self.hidden)
+            .collect()
+    }
+
+    fn predecessors_of(&self, n: NodeId) -> Vec<NodeId> {
+        if n == self.hidden {
+            return Vec::new();
+        }
+        self.graph
+            .predecessors_of(n)
+            .into_iter()
+            .filter(|&s| s != self.hidden)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preorder::{pre_order_with, StartNodePolicy};
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+
+    /// A family of deterministic small graphs with varied structure:
+    /// chains, diamonds, recurrences, multiple components, self-loops.
+    fn zoo() -> Vec<Ddg> {
+        let mut graphs = Vec::new();
+
+        // Chain.
+        graphs.push(hrms_ddg::chain("chain", 9, OpKind::FpAdd, 1));
+
+        // Diamond with a tail and a recurrence.
+        let mut b = DdgBuilder::new("diamond_rec");
+        let ids: Vec<NodeId> = (0..7)
+            .map(|i| b.node(format!("n{i}"), OpKind::FpAdd, 2))
+            .collect();
+        for (s, t) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6)] {
+            b.edge(ids[s], ids[t], DepKind::RegFlow, 0).unwrap();
+        }
+        b.edge(ids[4], ids[3], DepKind::RegFlow, 1).unwrap();
+        graphs.push(b.build().unwrap());
+
+        // Two components, one with a recurrence connected only through its
+        // backward edge (exercises the fallback path).
+        let mut b = DdgBuilder::new("islands");
+        let ids: Vec<NodeId> = (0..8)
+            .map(|i| b.node(format!("m{i}"), OpKind::FpMul, 1))
+            .collect();
+        b.edge(ids[0], ids[1], DepKind::RegFlow, 0).unwrap();
+        b.edge(ids[1], ids[2], DepKind::RegFlow, 0).unwrap();
+        b.edge(ids[3], ids[4], DepKind::RegFlow, 0).unwrap();
+        b.edge(ids[4], ids[3], DepKind::RegFlow, 1).unwrap();
+        b.edge(ids[5], ids[6], DepKind::RegFlow, 0).unwrap();
+        b.edge(ids[6], ids[5], DepKind::RegFlow, 2).unwrap();
+        // Bridge the two recurrences through a loop-carried (dropped) edge
+        // only: after dropping, the second circuit is a disconnected
+        // remainder of the component.
+        b.edge(ids[4], ids[5], DepKind::RegFlow, 1).unwrap();
+        b.edge(ids[7], ids[7], DepKind::RegFlow, 1).unwrap();
+        graphs.push(b.build().unwrap());
+
+        graphs
+    }
+
+    #[test]
+    fn legacy_and_dense_paths_agree_on_the_zoo() {
+        for g in zoo() {
+            for policy in [
+                StartNodePolicy::FirstInProgramOrder,
+                StartNodePolicy::LastInProgramOrder,
+            ] {
+                let options = PreOrderOptions { start_node: policy };
+                let dense = pre_order_with(&g, &options);
+                let legacy = pre_order_legacy_with(&g, &options);
+                assert_eq!(dense, legacy, "graph `{}` policy {policy:?}", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_orders_every_node_exactly_once() {
+        for g in zoo() {
+            let p = pre_order_legacy(&g);
+            let mut sorted = p.order.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), g.num_nodes(), "graph `{}`", g.name());
+        }
+    }
+}

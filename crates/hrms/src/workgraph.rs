@@ -1,8 +1,21 @@
 //! The mutable working graph on which hypernode reduction operates.
+//!
+//! Since the dense-representation rewrite this graph stores its live set as
+//! a u64-word bitset ([`hrms_ddg::NodeSet`]) and its per-node adjacency as
+//! sorted index vectors (`Vec<u32>`) keyed by the original dense node ids,
+//! instead of `HashMap<NodeId, BTreeSet<NodeId>>`. Reduction is `O(degree)`
+//! per reduced node, adjacency iteration is `O(degree)` with no hashing and
+//! no per-query allocation, and path search / topological sorts run on the
+//! index machinery of [`hrms_ddg::dense`] — the representation dense
+//! subgraph-extraction schedulers use to make repeated region queries scale.
+//! The public API and the deterministic (ascending node id) traversal order
+//! of the original implementation are preserved; the original itself
+//! survives as [`crate::legacy::LegacyWorkGraph`] for differential testing.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use hrms_ddg::{Ddg, GraphView, NodeId};
+use hrms_ddg::dense::DenseAdjacency;
+use hrms_ddg::{Csr, Ddg, GraphView, NodeId, NodeSet};
 
 /// A mutable directed graph over a subset of a [`Ddg`]'s nodes, supporting
 /// the *hypernode reduction* operation of the paper (Section 3.1):
@@ -21,13 +34,35 @@ use hrms_ddg::{Ddg, GraphView, NodeId};
 /// edges of every recurrence already removed, so it is acyclic.
 #[derive(Debug, Clone)]
 pub struct WorkGraph {
-    /// Successor sets, keyed by live node. `BTreeSet` keeps traversal
-    /// deterministic.
-    succs: HashMap<NodeId, BTreeSet<NodeId>>,
-    /// Predecessor sets, keyed by live node.
-    preds: HashMap<NodeId, BTreeSet<NodeId>>,
+    /// The live nodes.
+    live: NodeSet,
+    /// Number of live nodes (kept incrementally; `NodeSet::len` is a
+    /// popcount).
+    len: usize,
+    /// Successor rows, indexed by node id: sorted, deduplicated index
+    /// vectors. Rows of dead nodes are empty and live rows only ever contain
+    /// live nodes.
+    succs: Vec<Vec<u32>>,
+    /// Predecessor rows, symmetric to `succs`.
+    preds: Vec<Vec<u32>>,
     /// Upper bound on node ids (from the original graph).
     bound: usize,
+}
+
+/// Inserts `x` into a sorted, deduplicated row.
+#[inline]
+fn row_insert(row: &mut Vec<u32>, x: u32) {
+    if let Err(pos) = row.binary_search(&x) {
+        row.insert(pos, x);
+    }
+}
+
+/// Removes `x` from a sorted row if present.
+#[inline]
+fn row_remove(row: &mut Vec<u32>, x: u32) {
+    if let Ok(pos) = row.binary_search(&x) {
+        row.remove(pos);
+    }
 }
 
 impl WorkGraph {
@@ -40,45 +75,79 @@ impl WorkGraph {
         members: &[NodeId],
         dropped_edges: &std::collections::HashSet<hrms_ddg::EdgeId>,
     ) -> Self {
-        let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
-        let mut succs: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
-        let mut preds: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
-        for &m in &member_set {
-            succs.insert(m, BTreeSet::new());
-            preds.insert(m, BTreeSet::new());
+        let csr = Csr::filtered(ddg, dropped_edges);
+        Self::from_csr(&csr, members)
+    }
+
+    /// Builds a work graph over `members` from a pre-built (already
+    /// backward-edge-filtered) [`Csr`] adjacency, in
+    /// `O(bound + Σ degree(members))`. The pre-ordering driver builds the
+    /// CSR once per loop and carves one work graph per weakly connected
+    /// component out of it.
+    pub fn from_csr(csr: &Csr, members: &[NodeId]) -> Self {
+        let bound = csr.node_bound();
+        let mut live = NodeSet::new(bound);
+        for &m in members {
+            live.insert(m.index());
         }
-        for (eid, e) in ddg.edges() {
-            if dropped_edges.contains(&eid) || e.is_self_loop() {
-                continue;
-            }
-            let (s, t) = (e.source(), e.target());
-            if member_set.contains(&s) && member_set.contains(&t) {
-                succs.get_mut(&s).expect("member").insert(t);
-                preds.get_mut(&t).expect("member").insert(s);
+        let len = live.len();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); bound];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); bound];
+        for m in live.iter() {
+            // CSR rows are sorted and deduplicated, so the filtered copies
+            // are too; predecessor rows receive ascending `m`, keeping them
+            // sorted as well.
+            succs[m] = csr
+                .succs(m)
+                .iter()
+                .copied()
+                .filter(|&t| live.contains(t as usize))
+                .collect();
+            for &t in &succs[m] {
+                preds[t as usize].push(m as u32);
             }
         }
         WorkGraph {
+            live,
+            len,
             succs,
             preds,
-            bound: ddg.num_nodes(),
+            bound,
         }
     }
 
     /// Number of nodes still present.
     pub fn len(&self) -> usize {
-        self.succs.len()
+        self.len
     }
 
     /// Whether the graph is empty.
     pub fn is_empty(&self) -> bool {
-        self.succs.is_empty()
+        self.len == 0
     }
 
     /// The live nodes, in ascending id order.
     pub fn nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.succs.keys().copied().collect();
-        v.sort();
-        v
+        self.live.to_node_ids()
+    }
+
+    /// The live-node bitset (ascending iteration order).
+    #[inline]
+    pub fn live(&self) -> &NodeSet {
+        &self.live
+    }
+
+    /// The successor row of node `i`: a sorted, deduplicated slice of live
+    /// node indices (empty for dead nodes).
+    #[inline]
+    pub fn succ_row(&self, i: usize) -> &[u32] {
+        &self.succs[i]
+    }
+
+    /// The predecessor row of node `i` (empty for dead nodes).
+    #[inline]
+    pub fn pred_row(&self, i: usize) -> &[u32] {
+        &self.preds[i]
     }
 
     /// Reduces `set` into the hypernode `h`: every member of `set` is
@@ -92,56 +161,71 @@ impl WorkGraph {
     ///
     /// Panics if `h` is not present in the graph.
     pub fn reduce(&mut self, set: &[NodeId], h: NodeId) {
+        let mut victims = NodeSet::new(self.bound);
+        for &v in set {
+            if v.index() < self.bound {
+                victims.insert(v.index());
+            }
+        }
+        self.reduce_set(&victims, h);
+    }
+
+    /// [`WorkGraph::reduce`] over a bitset of victims — the allocation-free
+    /// fast path used by the pre-ordering phase. Runs in
+    /// `O(Σ degree(victims))` word operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not present in the graph.
+    pub fn reduce_set(&mut self, set: &NodeSet, h: NodeId) {
+        let hi = h.index();
         assert!(
-            self.succs.contains_key(&h),
+            self.live.contains(hi),
             "hypernode {h} is not in the work graph"
         );
-        let victims: BTreeSet<NodeId> = set
-            .iter()
-            .copied()
-            .filter(|&v| v != h && self.succs.contains_key(&v))
-            .collect();
-        for &v in &victims {
-            let out = self.succs.remove(&v).unwrap_or_default();
-            let inc = self.preds.remove(&v).unwrap_or_default();
-            for t in out {
-                if let Some(p) = self.preds.get_mut(&t) {
-                    p.remove(&v);
-                }
-                if t == h || victims.contains(&t) {
+        let mut victims = set.clone();
+        victims.intersect_with(&self.live);
+        victims.remove(hi);
+
+        for v in victims.iter() {
+            let out = std::mem::take(&mut self.succs[v]);
+            let inc = std::mem::take(&mut self.preds[v]);
+            self.live.remove(v);
+            self.len -= 1;
+            for &t in &out {
+                row_remove(&mut self.preds[t as usize], v as u32);
+                if t as usize == hi || victims.contains(t as usize) {
                     continue;
                 }
                 // redirect v -> t into h -> t
-                self.succs.get_mut(&h).expect("h present").insert(t);
-                self.preds.get_mut(&t).expect("t present").insert(h);
+                row_insert(&mut self.succs[hi], t);
+                row_insert(&mut self.preds[t as usize], hi as u32);
             }
-            for s in inc {
-                if let Some(sset) = self.succs.get_mut(&s) {
-                    sset.remove(&v);
-                }
-                if s == h || victims.contains(&s) {
+            for &s in &inc {
+                row_remove(&mut self.succs[s as usize], v as u32);
+                if s as usize == hi || victims.contains(s as usize) {
                     continue;
                 }
                 // redirect s -> v into s -> h
-                self.succs.get_mut(&s).expect("s present").insert(h);
-                self.preds.get_mut(&h).expect("h present").insert(s);
+                row_insert(&mut self.succs[s as usize], hi as u32);
+                row_insert(&mut self.preds[hi], s);
             }
         }
         // Drop any edge between h and itself that redirection may have
         // introduced.
-        self.succs.get_mut(&h).expect("h present").remove(&h);
-        self.preds.get_mut(&h).expect("h present").remove(&h);
+        row_remove(&mut self.succs[hi], hi as u32);
+        row_remove(&mut self.preds[hi], hi as u32);
     }
 
     /// Ensures `extra` is present (used when connecting a disconnected
     /// recurrence subgraph to the hypernode): inserts it with no edges if it
     /// was absent. Returns whether it was inserted.
     pub fn ensure_node(&mut self, extra: NodeId) -> bool {
-        if self.succs.contains_key(&extra) {
+        if self.live.contains(extra.index()) {
             return false;
         }
-        self.succs.insert(extra, BTreeSet::new());
-        self.preds.insert(extra, BTreeSet::new());
+        self.live.insert(extra.index());
+        self.len += 1;
         true
     }
 
@@ -163,30 +247,37 @@ impl WorkGraph {
     /// hypernode, the next recurrence circuit and the paths connecting them,
     /// orders it in isolation, and then reduces it in the main graph.
     pub fn restricted(&self, members: &BTreeSet<NodeId>) -> WorkGraph {
-        let mut succs: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
-        let mut preds: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+        let mut set = NodeSet::new(self.bound);
         for &m in members {
-            if !self.succs.contains_key(&m) {
-                continue;
+            if m.index() < self.bound {
+                set.insert(m.index());
             }
-            succs.insert(
-                m,
-                self.succs[&m]
-                    .iter()
-                    .copied()
-                    .filter(|t| members.contains(t))
-                    .collect(),
-            );
-            preds.insert(
-                m,
-                self.preds[&m]
-                    .iter()
-                    .copied()
-                    .filter(|s| members.contains(s))
-                    .collect(),
-            );
+        }
+        self.restricted_set(&set)
+    }
+
+    /// [`WorkGraph::restricted`] over a bitset of members.
+    pub fn restricted_set(&self, members: &NodeSet) -> WorkGraph {
+        let mut live = members.clone();
+        live.intersect_with(&self.live);
+        let len = live.len();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); self.bound];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); self.bound];
+        for m in live.iter() {
+            succs[m] = self.succs[m]
+                .iter()
+                .copied()
+                .filter(|&t| live.contains(t as usize))
+                .collect();
+            preds[m] = self.preds[m]
+                .iter()
+                .copied()
+                .filter(|&s| live.contains(s as usize))
+                .collect();
         }
         WorkGraph {
+            live,
+            len,
             succs,
             preds,
             bound: self.bound,
@@ -200,21 +291,43 @@ impl GraphView for WorkGraph {
     }
 
     fn contains(&self, n: NodeId) -> bool {
-        self.succs.contains_key(&n)
+        self.live.contains(n.index())
     }
 
     fn successors_of(&self, n: NodeId) -> Vec<NodeId> {
-        self.succs
-            .get(&n)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+        if n.index() >= self.bound {
+            return Vec::new();
+        }
+        self.succs[n.index()].iter().map(|&t| NodeId(t)).collect()
     }
 
     fn predecessors_of(&self, n: NodeId) -> Vec<NodeId> {
-        self.preds
-            .get(&n)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+        if n.index() >= self.bound {
+            return Vec::new();
+        }
+        self.preds[n.index()].iter().map(|&s| NodeId(s)).collect()
+    }
+}
+
+impl DenseAdjacency for WorkGraph {
+    fn node_bound(&self) -> usize {
+        self.bound
+    }
+
+    fn is_live(&self, i: usize) -> bool {
+        self.live.contains(i)
+    }
+
+    fn for_each_succ(&self, i: usize, f: &mut dyn FnMut(usize)) {
+        for &t in &self.succs[i] {
+            f(t as usize);
+        }
+    }
+
+    fn for_each_pred(&self, i: usize, f: &mut dyn FnMut(usize)) {
+        for &s in &self.preds[i] {
+            f(s as usize);
+        }
     }
 }
 
@@ -227,7 +340,7 @@ pub struct HiddenNodeView<'a> {
 
 impl GraphView for HiddenNodeView<'_> {
     fn node_bound(&self) -> usize {
-        self.graph.node_bound()
+        GraphView::node_bound(self.graph)
     }
 
     fn contains(&self, n: NodeId) -> bool {
@@ -409,5 +522,31 @@ mod tests {
         assert_eq!(wg.predecessors_of(a), vec![d]);
         wg.reduce(&[d], a);
         assert_eq!(wg.len(), 1);
+    }
+
+    #[test]
+    fn restricted_set_keeps_only_internal_edges() {
+        let (g, ids) = triangle();
+        let wg = WorkGraph::new(&g, &ids, &HashSet::new());
+        let mut keep = NodeSet::new(g.num_nodes());
+        keep.insert(ids[0].index());
+        keep.insert(ids[2].index());
+        let sub = wg.restricted_set(&keep);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.successors_of(ids[0]), vec![ids[2]]);
+        assert!(!sub.contains(ids[1]));
+        // The original is untouched.
+        assert_eq!(wg.len(), 3);
+    }
+
+    #[test]
+    fn dense_rows_track_reductions() {
+        let (g, ids) = triangle();
+        let mut wg = WorkGraph::new(&g, &ids, &HashSet::new());
+        assert!(wg.succ_row(ids[0].index()).contains(&ids[1].0));
+        wg.reduce(&[ids[1]], ids[0]);
+        assert!(wg.succ_row(ids[1].index()).is_empty(), "dead row is empty");
+        assert!(wg.pred_row(ids[2].index()).contains(&ids[0].0));
+        assert_eq!(wg.live().to_node_ids(), vec![ids[0], ids[2]]);
     }
 }

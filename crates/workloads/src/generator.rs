@@ -284,10 +284,13 @@ impl LoopGenerator {
         }
 
         b.invariants(rng.gen_range(0..=cfg.max_invariants));
-        // Log-uniform iteration count.
+        // Log-uniform iteration count: uniform in ln-space between the range
+        // endpoints, i.e. every decade of the range is equally likely (the
+        // seeded distribution test below checks this). A zero lower bound is
+        // clamped to 1 — `ln(0)` would poison the interpolation with NaN.
         let (lo, hi) = cfg.iteration_range;
-        let log_lo = (lo as f64).ln();
-        let log_hi = (hi as f64).ln();
+        let log_lo = (lo.max(1) as f64).ln();
+        let log_hi = (hi.max(1) as f64).ln();
         let iters = (log_lo + rng.gen::<f64>() * (log_hi - log_lo)).exp() as u64;
         b.iteration_count(iters.max(1));
 
@@ -368,6 +371,54 @@ mod tests {
             .generate(50)
             .iter()
             .all(|g| !g.has_recurrence()));
+    }
+
+    #[test]
+    fn iteration_counts_are_log_uniform_not_uniform() {
+        // The config documents iteration counts as "drawn log-uniformly from
+        // `iteration_range`". Verify the distribution really is log-uniform:
+        // with range (10, 20_000), each quarter of the ln-range must hold
+        // roughly a quarter of the samples, and about half the samples must
+        // fall below the geometric mean sqrt(10 * 20_000) ≈ 447. A *uniform*
+        // sampler would put ≈97.8% of draws in the top ln-quartile and only
+        // ≈2.2% below the geometric mean, so the assertions separate the two
+        // distributions decisively.
+        let loops = LoopGenerator::with_seed(1234).generate(2000);
+        let (lo, hi) = (10f64, 20_000f64);
+        let (log_lo, log_hi) = (lo.ln(), hi.ln());
+        let mut buckets = [0usize; 4];
+        for g in &loops {
+            let x = (g.iteration_count() as f64).ln();
+            let t = ((x - log_lo) / (log_hi - log_lo)).clamp(0.0, 0.999_999);
+            buckets[(t * 4.0) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            let frac = b as f64 / loops.len() as f64;
+            assert!(
+                (0.18..=0.32).contains(&frac),
+                "ln-quartile {i} holds {frac:.3} of the samples, expected ≈0.25"
+            );
+        }
+        let geo_mean = (lo * hi).sqrt();
+        let below = loops
+            .iter()
+            .filter(|g| (g.iteration_count() as f64) < geo_mean)
+            .count() as f64
+            / loops.len() as f64;
+        assert!(
+            (0.45..=0.55).contains(&below),
+            "{below:.3} of samples below the geometric mean, expected ≈0.5"
+        );
+    }
+
+    #[test]
+    fn zero_iteration_lower_bound_is_clamped() {
+        let cfg = GeneratorConfig {
+            iteration_range: (0, 8),
+            ..GeneratorConfig::default()
+        };
+        let loops = LoopGenerator::new(9, cfg).generate(50);
+        assert!(loops.iter().all(|g| (1..=8).contains(&g.iteration_count())));
     }
 
     #[test]

@@ -45,6 +45,44 @@ pub fn suite_config() -> GeneratorConfig {
     }
 }
 
+/// Loop sizes of the large-loop stress suite (operations per loop body).
+///
+/// The paper's loops top out at ~100 operations; unrolled media/HLS-style
+/// kernels easily reach thousands, which is where the hash-based
+/// pre-ordering representation used to fall over. The stress suite covers
+/// that range.
+pub const STRESS_SIZES: [usize; 6] = [200, 350, 500, 750, 1000, 2000];
+
+/// Generator preset for one stress loop of exactly `size` operations.
+///
+/// Compared to [`suite_config`] the recurrence probability is kept moderate
+/// and the dependence distance small: at these sizes a single extra backward
+/// edge can already span thousands of elementary circuits, and the circuit
+/// enumeration budget (not the pre-ordering) would dominate the runtime.
+pub fn stress_config(size: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        min_ops: size,
+        mean_ops: size as f64,
+        max_ops: size,
+        recurrence_probability: 0.3,
+        max_distance: 2,
+        max_invariants: 8,
+        iteration_range: (100, 1_000_000),
+        ..GeneratorConfig::default()
+    }
+}
+
+/// The deterministic large-loop stress suite: one loop per entry of
+/// [`STRESS_SIZES`], each a pure function of the fixed seed.
+pub fn stress_suite() -> Vec<Ddg> {
+    STRESS_SIZES
+        .iter()
+        .map(|&size| {
+            LoopGenerator::new(DEFAULT_SEED ^ size as u64, stress_config(size)).next_loop()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +107,17 @@ mod tests {
         let m = presets::perfect_club();
         for g in perfect_club_like_sized(60) {
             MiiInfo::compute(&g, &m).unwrap_or_else(|e| panic!("loop `{}` invalid: {e}", g.name()));
+        }
+    }
+
+    #[test]
+    fn stress_suite_is_deterministic_and_sized_as_configured() {
+        let a = stress_suite();
+        let b = stress_suite();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), STRESS_SIZES.len());
+        for (g, &size) in a.iter().zip(STRESS_SIZES.iter()) {
+            assert_eq!(g.num_nodes(), size);
         }
     }
 

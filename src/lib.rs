@@ -17,6 +17,7 @@
 //! | [`baselines`] | Top-Down, Bottom-Up, Slack, FRLC-style, iterative, and branch-and-bound schedulers |
 //! | [`regalloc`] | register pressure, spill insertion, modulo variable expansion, rotating register allocation |
 //! | [`workloads`] | the paper's worked examples, a 24-loop reference suite, a synthetic Perfect-Club-like suite |
+//! | [`engine`] | parallel batch scheduling across a scoped worker pool with deterministic output order |
 //!
 //! # Quick start
 //!
@@ -56,6 +57,7 @@
 pub use hrms_baselines as baselines;
 pub use hrms_core as hrms;
 pub use hrms_ddg as ddg;
+pub use hrms_engine as engine;
 pub use hrms_machine as machine;
 pub use hrms_modsched as modsched;
 pub use hrms_regalloc as regalloc;
@@ -71,6 +73,7 @@ pub mod prelude {
         HrmsOptions, HrmsScheduler, OrderingMode, PreOrderOptions, StartNodePolicy,
     };
     pub use hrms_ddg::{Ddg, DdgBuilder, DepKind, NodeId, OpKind};
+    pub use hrms_engine::BatchEngine;
     pub use hrms_machine::{presets, Machine, MachineBuilder, ResourceClass};
     pub use hrms_modsched::{
         validate_schedule, Kernel, LifetimeAnalysis, MiiInfo, ModuloScheduler, Schedule,

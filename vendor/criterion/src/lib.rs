@@ -78,12 +78,16 @@ impl Bencher {
 pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup {
-    /// Sets how many timed samples each benchmark takes.
+    /// Sets how many timed samples each benchmark takes (ignored in `--test`
+    /// mode, which always runs a single sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -120,15 +124,30 @@ impl BenchmarkGroup {
 
 /// Entry point handed to every benchmark function, mirroring
 /// `criterion::Criterion`.
-#[derive(Default)]
-pub struct Criterion {}
+///
+/// Like the real crate, `--test` on the bench binary's command line (i.e.
+/// `cargo bench -- --test`) switches every benchmark to a single-sample
+/// smoke run: each closure executes once so CI can verify the benches work
+/// without paying for full measurement.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup {
         BenchmarkGroup {
             name: name.to_string(),
-            sample_size: 20,
+            sample_size: if self.test_mode { 1 } else { 20 },
+            test_mode: self.test_mode,
         }
     }
 }
