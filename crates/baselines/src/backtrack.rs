@@ -11,9 +11,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use hrms_ddg::{Ddg, NodeId};
+use hrms_ddg::{Ddg, LoopAnalysis, NodeId, PlacementCsr};
 use hrms_machine::Machine;
-use hrms_modsched::mii::{dependence_latency, earliest_starts, latest_starts};
 use hrms_modsched::{PartialSchedule, Schedule};
 
 /// Which heuristic drives node selection and placement direction.
@@ -28,25 +27,28 @@ pub enum Flavor {
     Slack,
 }
 
-/// One attempt at a fixed II. Returns `None` if the placement budget was
-/// exhausted (caller escalates the II).
+/// One attempt at a fixed II, over the loop's shared analysis (cached
+/// dependence edges for the static bounds, dense placement arcs for the
+/// dynamic ones and for eviction). Returns `None` if the placement budget
+/// was exhausted (caller escalates the II).
 pub fn schedule_with_backtracking(
-    ddg: &Ddg,
+    la: &LoopAnalysis<'_>,
     machine: &Machine,
     ii: u32,
     flavor: Flavor,
     budget: u64,
 ) -> Option<Schedule> {
-    let est = earliest_starts(ddg, ii)?;
+    let ddg = la.ddg();
+    let est = la.earliest_starts(ii)?;
     let horizon = est.iter().copied().max().unwrap_or(0)
         + ddg
             .nodes()
             .map(|(_, node)| i64::from(node.latency()))
             .max()
             .unwrap_or(1);
-    let lst = latest_starts(ddg, ii, horizon)?;
+    let lst = la.latest_starts(ii, horizon)?;
 
-    let mut partial = PartialSchedule::new(machine, ii);
+    let mut partial = PartialSchedule::with_placement(machine, ii, la.placement().clone());
     let mut unscheduled: HashSet<NodeId> = ddg.node_ids().collect();
     // The last cycle each node was placed at; forcing moves strictly past it
     // so repeated evictions make forward progress.
@@ -111,6 +113,7 @@ pub fn schedule_with_backtracking(
                 };
                 force_place(
                     ddg,
+                    la.placement(),
                     machine,
                     &mut partial,
                     &mut unscheduled,
@@ -169,8 +172,12 @@ fn pick_node(
 
 /// Forces `u` to cycle `at`, evicting resource-conflicting operations of the
 /// same class and any operation whose dependence with `u` would be violated.
+/// Violation checks scan the dense placement arcs (precomputed latencies,
+/// self-loops already excluded).
+#[allow(clippy::too_many_arguments)]
 fn force_place(
     ddg: &Ddg,
+    arcs: &PlacementCsr,
     machine: &Machine,
     partial: &mut PartialSchedule,
     unscheduled: &mut HashSet<NodeId>,
@@ -180,27 +187,19 @@ fn force_place(
 ) {
     // 1. Evict dependence violators.
     let mut victims: Vec<NodeId> = Vec::new();
-    for (_, e) in ddg.out_edges(u) {
-        let w = e.target();
-        if w == u {
-            continue;
-        }
+    for a in arcs.out_arcs(u.index()) {
+        let w = NodeId(a.other);
         if let Some(tw) = partial.cycle_of(w) {
-            let required = at + i64::from(dependence_latency(ddg, e))
-                - i64::from(e.distance()) * i64::from(ii);
+            let required = at + i64::from(a.latency) - i64::from(a.distance) * i64::from(ii);
             if tw < required {
                 victims.push(w);
             }
         }
     }
-    for (_, e) in ddg.in_edges(u) {
-        let w = e.source();
-        if w == u {
-            continue;
-        }
+    for a in arcs.in_arcs(u.index()) {
+        let w = NodeId(a.other);
         if let Some(tw) = partial.cycle_of(w) {
-            let required = tw + i64::from(dependence_latency(ddg, e))
-                - i64::from(e.distance()) * i64::from(ii);
+            let required = tw + i64::from(a.latency) - i64::from(a.distance) * i64::from(ii);
             if at < required {
                 victims.push(w);
             }
@@ -271,8 +270,9 @@ mod tests {
     fn both_flavors_produce_valid_schedules() {
         let g = dense_loads();
         let m = presets::govindarajan();
+        let la = LoopAnalysis::analyze(&g);
         for flavor in [Flavor::Iterative, Flavor::Slack] {
-            let s = schedule_with_backtracking(&g, &m, 4, flavor, 10_000)
+            let s = schedule_with_backtracking(&la, &m, 4, flavor, 10_000)
                 .unwrap_or_else(|| panic!("{flavor:?} failed at II = 4"));
             validate_schedule(&g, &m, &s).unwrap();
             assert_eq!(s.ii(), 4);
@@ -290,8 +290,9 @@ mod tests {
         b.edge(z, x, DepKind::RegFlow, 1).unwrap();
         let g = b.build().unwrap();
         let m = presets::govindarajan();
+        let la = LoopAnalysis::analyze(&g);
         for flavor in [Flavor::Iterative, Flavor::Slack] {
-            let s = schedule_with_backtracking(&g, &m, 4, flavor, 10_000).unwrap();
+            let s = schedule_with_backtracking(&la, &m, 4, flavor, 10_000).unwrap();
             validate_schedule(&g, &m, &s).unwrap();
         }
     }
@@ -303,14 +304,16 @@ mod tests {
         b.edge(a, a, DepKind::RegFlow, 1).unwrap();
         let g = b.build().unwrap();
         let m = presets::govindarajan();
-        assert!(schedule_with_backtracking(&g, &m, 3, Flavor::Iterative, 1000).is_none());
-        assert!(schedule_with_backtracking(&g, &m, 4, Flavor::Iterative, 1000).is_some());
+        let la = LoopAnalysis::analyze(&g);
+        assert!(schedule_with_backtracking(&la, &m, 3, Flavor::Iterative, 1000).is_none());
+        assert!(schedule_with_backtracking(&la, &m, 4, Flavor::Iterative, 1000).is_some());
     }
 
     #[test]
     fn a_tiny_budget_fails_gracefully() {
         let g = dense_loads();
         let m = presets::govindarajan();
-        assert!(schedule_with_backtracking(&g, &m, 4, Flavor::Slack, 2).is_none());
+        let la = LoopAnalysis::analyze(&g);
+        assert!(schedule_with_backtracking(&la, &m, 4, Flavor::Slack, 2).is_none());
     }
 }

@@ -35,8 +35,8 @@ impl ModuloScheduler for BottomUpScheduler {
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
         let order = bottomup_order(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _| {
-            schedule_directional_at_ii(ddg, machine, &order, ii, Direction::BottomUp)
+        escalate_ii(ddg, machine, &self.config, |ii, _, la| {
+            schedule_directional_at_ii(la, machine, &order, ii, Direction::BottomUp)
         })
     }
 }

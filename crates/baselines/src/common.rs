@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use hrms_ddg::{Ddg, NodeId, TopoLevels};
+use hrms_ddg::{Ddg, LoopAnalysis, NodeId, TopoLevels};
 use hrms_machine::Machine;
 use hrms_modsched::{
     MiiInfo, PartialSchedule, SchedError, Schedule, ScheduleOutcome, SchedulerConfig,
@@ -70,20 +70,23 @@ fn trivial_copy(ddg: &Ddg) -> Ddg {
     b.build().expect("node-only copy of a valid graph")
 }
 
-/// One pass of directional list scheduling at a fixed II.
+/// One pass of directional list scheduling at a fixed II, over the loop's
+/// shared analysis (the dense placement arcs drive every
+/// `Early_Start`/`Late_Start`).
 ///
 /// Top-Down places every node as soon as possible after its already-placed
 /// predecessors (and never later than any already-placed successor allows);
 /// Bottom-Up is the mirror image. Returns `None` when some node finds no
 /// free slot, in which case the caller escalates the II.
 pub fn schedule_directional_at_ii(
-    ddg: &Ddg,
+    la: &LoopAnalysis<'_>,
     machine: &Machine,
     order: &[NodeId],
     ii: u32,
     direction: Direction,
 ) -> Option<Schedule> {
-    let mut partial = PartialSchedule::new(machine, ii);
+    let ddg = la.ddg();
+    let mut partial = PartialSchedule::with_placement(machine, ii, la.placement().clone());
     for &u in order {
         let early = partial.early_start(ddg, u);
         let late = partial.late_start(ddg, u);
@@ -116,8 +119,12 @@ pub fn schedule_directional_at_ii(
     Some(partial.into_schedule(ddg))
 }
 
-/// The II-escalation driver shared by every baseline: computes the MII, then
-/// tries `attempt(ii)` for II = MII, MII+1, ... up to the configured cap.
+/// The II-escalation driver shared by every baseline: analyses the loop
+/// once, computes the MII from the cached analysis, then tries
+/// `attempt(ii, mii, &analysis)` for II = MII, MII+1, ... up to the
+/// configured cap. The analysis handed to every attempt carries the dense
+/// placement arcs and the cached dependence-edge list, so per-II passes
+/// never rebuild per-loop structures.
 pub fn escalate_ii<F>(
     ddg: &Ddg,
     machine: &Machine,
@@ -125,10 +132,11 @@ pub fn escalate_ii<F>(
     mut attempt: F,
 ) -> Result<ScheduleOutcome, SchedError>
 where
-    F: FnMut(u32, MiiInfo) -> Option<Schedule>,
+    F: FnMut(u32, MiiInfo, &LoopAnalysis<'_>) -> Option<Schedule>,
 {
     let start = Instant::now();
-    let mii = MiiInfo::compute(ddg, machine)?;
+    let analysis = LoopAnalysis::analyze(ddg);
+    let mii = MiiInfo::compute_with(ddg, machine, &analysis)?;
     let max_ii = config.effective_max_ii(ddg, mii.mii());
     if max_ii < mii.mii() {
         return Err(SchedError::NoValidSchedule {
@@ -139,7 +147,7 @@ where
     let mut ii = mii.mii();
     loop {
         attempts += 1;
-        if let Some(schedule) = attempt(ii, mii) {
+        if let Some(schedule) = attempt(ii, mii, &analysis) {
             return Ok(ScheduleOutcome::new(
                 ddg,
                 schedule,
@@ -209,11 +217,12 @@ mod tests {
     fn directional_schedules_are_valid() {
         let g = diamond();
         let m = presets::govindarajan();
+        let la = LoopAnalysis::analyze(&g);
         for (order, dir) in [
             (topdown_order(&g), Direction::TopDown),
             (bottomup_order(&g), Direction::BottomUp),
         ] {
-            let s = schedule_directional_at_ii(&g, &m, &order, 2, dir).unwrap();
+            let s = schedule_directional_at_ii(&la, &m, &order, 2, dir).unwrap();
             validate_schedule(&g, &m, &s).unwrap();
         }
     }
@@ -227,7 +236,7 @@ mod tests {
             ..SchedulerConfig::default()
         };
         // An attempt that always fails must exhaust the cap.
-        let err = escalate_ii(&g, &m, &config, |_, _| None).unwrap_err();
+        let err = escalate_ii(&g, &m, &config, |_, _, _| None).unwrap_err();
         assert_eq!(err, SchedError::NoValidSchedule { max_ii_tried: 3 });
     }
 
@@ -237,11 +246,11 @@ mod tests {
         let m = presets::govindarajan();
         let config = SchedulerConfig::default();
         let order = topdown_order(&g);
-        let outcome = escalate_ii(&g, &m, &config, |ii, _| {
+        let outcome = escalate_ii(&g, &m, &config, |ii, _, la| {
             if ii < 4 {
                 None
             } else {
-                schedule_directional_at_ii(&g, &m, &order, ii, Direction::TopDown)
+                schedule_directional_at_ii(la, &m, &order, ii, Direction::TopDown)
             }
         })
         .unwrap();

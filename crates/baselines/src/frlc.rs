@@ -18,9 +18,8 @@
 //! but not always optimal IIs, and clearly higher buffer requirements than
 //! the lifetime-aware schedulers.
 
-use hrms_ddg::{Ddg, NodeId};
+use hrms_ddg::{Ddg, LoopAnalysis, NodeId};
 use hrms_machine::Machine;
-use hrms_modsched::mii::earliest_starts;
 use hrms_modsched::{
     validate_schedule, ModuloScheduler, PartialSchedule, SchedError, Schedule, ScheduleOutcome,
     SchedulerConfig,
@@ -46,17 +45,19 @@ impl ModuloScheduler for FrlcScheduler {
     }
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
-        crate::common::escalate_ii(ddg, machine, &self.config, |ii, _| {
-            schedule_frlc_at_ii(ddg, machine, ii)
+        crate::common::escalate_ii(ddg, machine, &self.config, |ii, _, la| {
+            schedule_frlc_at_ii(la, machine, ii)
         })
     }
 }
 
-/// One FRLC attempt at a fixed II.
-fn schedule_frlc_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<Schedule> {
+/// One FRLC attempt at a fixed II, over the loop's shared analysis (cached
+/// dependence edges for the levels, dense placement arcs for compaction).
+fn schedule_frlc_at_ii(la: &LoopAnalysis<'_>, machine: &Machine, ii: u32) -> Option<Schedule> {
+    let ddg = la.ddg();
     // Phase 1 (decomposition): resource-free earliest start times at this II
     // give each operation its stage and its scheduling priority.
-    let est = earliest_starts(ddg, ii)?;
+    let est = la.earliest_starts(ii)?;
     let mut order: Vec<NodeId> = ddg.node_ids().collect();
     order.sort_by_key(|&n| (est[n.index()], n.index()));
 
@@ -64,7 +65,7 @@ fn schedule_frlc_at_ii(ddg: &Ddg, machine: &Machine, ii: u32) -> Option<Schedule
     // operation as soon as possible — at or after both its level and its
     // already-placed producers — without looking at lifetimes or at
     // loop-carried successors.
-    let mut partial = PartialSchedule::new(machine, ii);
+    let mut partial = PartialSchedule::with_placement(machine, ii, la.placement().clone());
     for &u in &order {
         let lower = match partial.early_start(ddg, u) {
             Some(e) => e.max(est[u.index()]),

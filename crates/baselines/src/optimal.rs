@@ -73,7 +73,7 @@ impl BranchAndBoundScheduler {
         };
         let order = bfs_order(ddg);
         let greedy_order = crate::common::topdown_order(ddg);
-        let outcome = crate::common::escalate_ii(ddg, machine, &self.config, |ii, _| {
+        let outcome = crate::common::escalate_ii(ddg, machine, &self.config, |ii, _, la| {
             // Seed the incumbent with a greedy top-down schedule at this II.
             // This bounds the search from the start (better pruning) and
             // guarantees graceful degradation: even if the budget runs out
@@ -81,7 +81,7 @@ impl BranchAndBoundScheduler {
             // scheduler still returns a valid schedule no worse than the
             // heuristic instead of escalating the II forever.
             let (seed, seed_cost) = match crate::common::schedule_directional_at_ii(
-                ddg,
+                la,
                 machine,
                 &greedy_order,
                 ii,
@@ -103,7 +103,10 @@ impl BranchAndBoundScheduler {
                 explored: 0,
                 budget: self.config.budget_per_ii,
             };
-            let mut partial = PartialSchedule::new(machine, ii);
+            // Dense placement arcs: the exhaustive search evaluates
+            // Early/Late_Start at every tree node, the hottest path in this
+            // crate.
+            let mut partial = PartialSchedule::with_placement(machine, ii, la.placement().clone());
             search.explore(0, &mut partial);
             stats.explored += search.explored;
             if search.explored >= search.budget {

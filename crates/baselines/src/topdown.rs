@@ -36,8 +36,8 @@ impl ModuloScheduler for TopDownScheduler {
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
         let order = topdown_order(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _| {
-            schedule_directional_at_ii(ddg, machine, &order, ii, Direction::TopDown)
+        escalate_ii(ddg, machine, &self.config, |ii, _, la| {
+            schedule_directional_at_ii(la, machine, &order, ii, Direction::TopDown)
         })
     }
 }

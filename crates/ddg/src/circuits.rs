@@ -105,7 +105,14 @@ impl RecurrenceInfo {
 
     /// Analyses `ddg`, enumerating at most `budget` circuits.
     pub fn analyze_with_budget(ddg: &Ddg, budget: usize) -> Self {
-        let (circuits, truncated) = enumerate_circuits(ddg, budget);
+        Self::analyze_with_sccs(ddg, &scc::strongly_connected_components(ddg), budget)
+    }
+
+    /// Analyses `ddg` reusing precomputed strongly connected components, so
+    /// a caller holding a shared per-loop analysis (see
+    /// [`crate::analysis::LoopAnalysis`]) does not re-run Tarjan.
+    pub fn analyze_with_sccs(ddg: &Ddg, sccs: &[Vec<NodeId>], budget: usize) -> Self {
+        let (circuits, truncated) = enumerate_circuits_with_sccs(ddg, sccs, budget);
         let subgraphs = group_into_subgraphs(&circuits);
         RecurrenceInfo {
             circuits,
@@ -169,6 +176,16 @@ pub const DEFAULT_CIRCUIT_BUDGET: usize = 50_000;
 ///
 /// Returns the circuits and whether the budget was hit.
 pub fn enumerate_circuits(ddg: &Ddg, budget: usize) -> (Vec<Circuit>, bool) {
+    enumerate_circuits_with_sccs(ddg, &scc::strongly_connected_components(ddg), budget)
+}
+
+/// [`enumerate_circuits`] over precomputed strongly connected components
+/// (the caller's single Tarjan run is reused instead of repeated here).
+pub fn enumerate_circuits_with_sccs(
+    ddg: &Ddg,
+    sccs: &[Vec<NodeId>],
+    budget: usize,
+) -> (Vec<Circuit>, bool) {
     let mut circuits = Vec::new();
     let mut truncated = false;
 
@@ -189,11 +206,11 @@ pub fn enumerate_circuits(ddg: &Ddg, budget: usize) -> (Vec<Circuit>, bool) {
     }
 
     // Johnson's algorithm restricted to each non-trivial SCC.
-    for component in scc::strongly_connected_components(ddg) {
+    for component in sccs {
         if component.len() < 2 {
             continue;
         }
-        if !johnson_on_component(ddg, &component, budget, &mut circuits) {
+        if !johnson_on_component(ddg, component, budget, &mut circuits) {
             truncated = true;
         }
         if circuits.len() >= budget {

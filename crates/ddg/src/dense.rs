@@ -42,6 +42,9 @@ use crate::topo::CycleError;
 ///
 /// Iteration order is ascending by index, matching the deterministic
 /// traversal order of the `BTreeSet<NodeId>`-based structures it replaces.
+/// Membership tests, insertion and removal are `O(1)` word operations;
+/// whole-set operations (union, intersection, difference, length, clear)
+/// are `O(bound / 64)` word sweeps.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NodeSet {
     words: Vec<u64>,
@@ -104,7 +107,7 @@ impl NodeSet {
         present
     }
 
-    /// Number of members (popcount over the words).
+    /// Number of members (one popcount per word, `O(bound / 64)`).
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
@@ -242,13 +245,16 @@ pub struct Csr {
 }
 
 impl Csr {
-    /// Builds the full (deduplicated, self-loop-free) adjacency of `ddg`.
+    /// Builds the full (deduplicated, self-loop-free) adjacency of `ddg` in
+    /// `O(|V| + |E| log d)` (the log factor from sorting each neighbour
+    /// row of degree `d`).
     pub fn from_graph(ddg: &Ddg) -> Self {
         Self::filtered(ddg, &HashSet::new())
     }
 
     /// Builds the adjacency of `ddg` excluding `dropped` edges (and
-    /// self-loops).
+    /// self-loops); same cost as [`Csr::from_graph`] plus one hash probe
+    /// per edge.
     pub fn filtered(ddg: &Ddg, dropped: &HashSet<EdgeId>) -> Self {
         let n = ddg.num_nodes();
         let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -297,7 +303,7 @@ impl Csr {
 
     /// Whether node `i` has any (undirected) neighbour in `set` — used by
     /// the pre-ordering fallback to find a remaining node that has a
-    /// reference operation among the already-ordered ones.
+    /// reference operation among the already-ordered ones. `O(degree(i))`.
     pub fn has_neighbour_in(&self, i: usize, set: &NodeSet) -> bool {
         self.succs(i).iter().any(|&t| set.contains(t as usize))
             || self.preds(i).iter().any(|&s| set.contains(s as usize))
@@ -338,7 +344,8 @@ pub enum Dir {
 /// The set of nodes reachable from `seeds` in direction `dir`, **excluding**
 /// the seeds themselves unless they are re-reached (through a cycle or from
 /// another seed) — the dense port of the BFS in [`crate::paths`]. Duplicate
-/// and dead seeds are ignored.
+/// and dead seeds are ignored. `O(|V| + |E|)` with two bitset insertions
+/// per visited node and no hashing.
 pub fn reachable<G: DenseAdjacency + ?Sized>(graph: &G, seeds: &[usize], dir: Dir) -> NodeSet {
     let bound = graph.node_bound();
     let mut visited = NodeSet::new(bound);
@@ -435,7 +442,10 @@ impl KahnScratch {
 
 /// Kahn's topological sort of `subset` **sources first**, ties broken by
 /// node index — the dense port of [`crate::topo::sort_asap`]. Only edges
-/// with both endpoints in `subset` count.
+/// with both endpoints in `subset` count. `O((V' + E') log V')` over the
+/// subset's `V'` nodes and `E'` induced edges (the log from the min-heap
+/// ready list); allocates a fresh [`KahnScratch`], so hot paths should use
+/// [`sort_asap_scratch`].
 ///
 /// # Errors
 ///
@@ -449,7 +459,8 @@ pub fn sort_asap<G: DenseAdjacency + ?Sized>(
 
 /// Kahn's topological sort of `subset` **sinks first** (the paper's
 /// `Sort_PALA`), ties broken by node index — the dense port of
-/// [`crate::topo::sort_pala`].
+/// [`crate::topo::sort_pala`]. Same `O((V' + E') log V')` cost and scratch
+/// caveat as [`sort_asap`].
 ///
 /// # Errors
 ///

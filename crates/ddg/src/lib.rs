@@ -18,6 +18,9 @@
 //!   subgraphs* ([`circuits`]),
 //! * the `Search_All_Paths` routine of the paper ([`paths`]),
 //! * ASAP / PALA topological orders and latency-weighted levels ([`topo`]),
+//! * the shared per-loop analysis cache ([`analysis`]): one Tarjan run,
+//!   backward edges, dependence arcs with precomputed latencies and the
+//!   exact RecMII, computed once per loop and reused by every phase,
 //! * Graphviz export ([`dot`]).
 //!
 //! # Example
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod builder;
 pub mod circuits;
 pub mod dense;
@@ -58,6 +62,7 @@ pub mod paths;
 pub mod scc;
 pub mod topo;
 
+pub use analysis::{dependence_latency, DepArc, DepEdge, LoopAnalysis, PlacementCsr};
 pub use builder::DdgBuilder;
 pub use circuits::{Circuit, RecurrenceInfo, RecurrenceSubgraph};
 pub use dense::{Csr, DenseAdjacency, NodeSet};

@@ -22,7 +22,7 @@
 use std::collections::HashSet;
 
 use hrms_ddg::dense::KahnScratch;
-use hrms_ddg::{dense, scc, Csr, Ddg, EdgeId, NodeId, NodeSet, RecurrenceInfo};
+use hrms_ddg::{analysis, dense, scc, Csr, Ddg, EdgeId, LoopAnalysis, NodeId, NodeSet};
 
 use crate::workgraph::WorkGraph;
 
@@ -84,17 +84,29 @@ pub fn pre_order(ddg: &Ddg) -> PreOrdering {
 /// zero-distance subgraph is cyclic (invalid loop bodies) are still ordered
 /// — the order degenerates towards program order — but the scheduling step
 /// will subsequently reject them when computing the MII.
+///
+/// Builds a fresh [`LoopAnalysis`] internally; callers that also compute
+/// the MII or drive the scheduling step should build the analysis once and
+/// use [`pre_order_with_analysis`] so Tarjan and the CSR construction are
+/// not repeated across phases.
 pub fn pre_order_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
-    let rec_info = RecurrenceInfo::analyze(ddg);
-    let dropped = backward_edges(ddg);
+    pre_order_with_analysis(&LoopAnalysis::analyze(ddg), options)
+}
+
+/// [`pre_order_with`] over a shared per-loop analysis: the recurrence
+/// circuits, backward edges and both CSR adjacencies come from (and are
+/// cached in) `la`, so the pre-ordering itself is pure index manipulation.
+pub fn pre_order_with_analysis(la: &LoopAnalysis<'_>, options: &PreOrderOptions) -> PreOrdering {
+    let ddg = la.ddg();
+    let rec_info = la.recurrences();
     let simplified = rec_info.simplified_node_lists();
     let bound = ddg.num_nodes();
 
     // The acyclic work adjacency (backward edges removed) and the full,
     // undropped adjacency (used to find reference operations for nodes only
     // connected through dropped edges).
-    let work_csr = Csr::filtered(ddg, &dropped);
-    let full_csr = Csr::from_graph(ddg);
+    let work_csr = la.csr_work();
+    let full_csr = la.csr_full();
 
     // Components ordered by the most restrictive recurrence they contain.
     let mut components = ddg.connected_components();
@@ -127,7 +139,7 @@ pub fn pre_order_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
     for ci in component_order {
         let component = std::mem::take(&mut components[ci]);
         let member_set = NodeSet::from_indices(bound, component.iter().map(|n| n.index()));
-        let mut work = WorkGraph::from_csr(&work_csr, &component);
+        let mut work = WorkGraph::from_csr(work_csr, &component);
 
         // Recurrence subgraph node lists that live in this component,
         // already sorted by decreasing RecMII by `simplified_node_lists`.
@@ -149,7 +161,7 @@ pub fn pre_order_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
                 h,
                 &mut order,
                 &mut ordered,
-                &full_csr,
+                full_csr,
                 &mut scratch,
             );
 
@@ -170,7 +182,7 @@ pub fn pre_order_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
                     h,
                     &mut order,
                     &mut ordered,
-                    &full_csr,
+                    full_csr,
                     &mut scratch,
                 );
             }
@@ -189,7 +201,7 @@ pub fn pre_order_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
             h,
             &mut order,
             &mut ordered,
-            &full_csr,
+            full_csr,
             &mut scratch,
         );
     }
@@ -218,19 +230,13 @@ pub fn pre_order_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
 /// endpoints belong to the same strongly connected component. Removing them
 /// makes the work graph acyclic (any remaining cycle would have distance 0,
 /// which the MII computation rejects).
+///
+/// Standalone convenience that runs its own Tarjan pass; the pre-ordering
+/// itself reads the cached set from [`LoopAnalysis::backward_edges`]
+/// instead, so the single implementation lives in
+/// [`hrms_ddg::analysis::backward_edges_of`].
 pub fn backward_edges(ddg: &Ddg) -> HashSet<EdgeId> {
-    let mut scc_of = vec![usize::MAX; ddg.num_nodes()];
-    for (i, comp) in scc::strongly_connected_components(ddg).iter().enumerate() {
-        for &n in comp {
-            scc_of[n.index()] = i;
-        }
-    }
-    ddg.edges()
-        .filter(|(_, e)| {
-            e.distance() > 0 && scc_of[e.source().index()] == scc_of[e.target().index()]
-        })
-        .map(|(eid, _)| eid)
-        .collect()
+    analysis::backward_edges_of(ddg, &scc::strongly_connected_components(ddg))
 }
 
 fn push(order: &mut Vec<NodeId>, ordered: &mut NodeSet, n: NodeId) {

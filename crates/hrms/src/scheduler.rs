@@ -1,15 +1,16 @@
 //! The scheduling step of HRMS (Section 3.3) and the top-level scheduler.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hrms_ddg::{Ddg, NodeId};
+use hrms_ddg::{Ddg, LoopAnalysis, NodeId, PlacementCsr};
 use hrms_machine::Machine;
 use hrms_modsched::{
     MiiInfo, ModuloScheduler, PartialSchedule, SchedError, Schedule, ScheduleOutcome,
     SchedulerConfig,
 };
 
-use crate::preorder::{pre_order_with, PreOrderOptions, PreOrdering};
+use crate::preorder::{pre_order_with, pre_order_with_analysis, PreOrderOptions, PreOrdering};
 
 /// How the node order handed to the scheduling step is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,10 +99,12 @@ impl HrmsScheduler {
         pre_order_with(ddg, &self.options.preorder)
     }
 
-    fn node_order(&self, ddg: &Ddg) -> Vec<NodeId> {
+    fn node_order(&self, la: &LoopAnalysis<'_>) -> Vec<NodeId> {
         match self.options.ordering {
-            OrderingMode::HypernodeReduction => self.pre_order(ddg).order,
-            OrderingMode::ProgramOrder => ddg.node_ids().collect(),
+            OrderingMode::HypernodeReduction => {
+                pre_order_with_analysis(la, &self.options.preorder).order
+            }
+            OrderingMode::ProgramOrder => la.ddg().node_ids().collect(),
         }
     }
 }
@@ -116,10 +119,14 @@ impl ModuloScheduler for HrmsScheduler {
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
         let start = Instant::now();
-        let mii = MiiInfo::compute(ddg, machine)?;
+        // One shared analysis for the whole loop: the MII, the pre-ordering
+        // and every placement pass below read from the same cache (Tarjan,
+        // backward edges, CSRs and dependence latencies are computed once).
+        let analysis = LoopAnalysis::analyze(ddg);
+        let mii = MiiInfo::compute_with(ddg, machine, &analysis)?;
 
         let order_start = Instant::now();
-        let order = self.node_order(ddg);
+        let order = self.node_order(&analysis);
         let ordering_time = order_start.elapsed();
 
         let max_ii = self.options.config.effective_max_ii(ddg, mii.mii());
@@ -139,7 +146,9 @@ impl ModuloScheduler for HrmsScheduler {
         let mut ii = mii.mii();
         loop {
             attempts += 1;
-            if let Some(schedule) = schedule_at_ii(ddg, machine, &order, ii) {
+            if let Some(schedule) =
+                schedule_at_ii_with(ddg, machine, analysis.placement(), &order, ii)
+            {
                 return Ok(ScheduleOutcome::new(
                     ddg,
                     schedule,
@@ -150,8 +159,10 @@ impl ModuloScheduler for HrmsScheduler {
                 ));
             }
             let fallback =
-                fallback_order.get_or_insert_with(|| earliest_start_order(ddg, mii.mii()));
-            if let Some(schedule) = schedule_at_ii(ddg, machine, fallback, ii) {
+                fallback_order.get_or_insert_with(|| earliest_start_order(&analysis, mii.mii()));
+            if let Some(schedule) =
+                schedule_at_ii_with(ddg, machine, analysis.placement(), fallback, ii)
+            {
                 return Ok(ScheduleOutcome::new(
                     ddg,
                     schedule,
@@ -173,9 +184,11 @@ impl ModuloScheduler for HrmsScheduler {
 /// [`HrmsScheduler::schedule_loop`]: with it, every operation is placed after
 /// all of its intra-iteration predecessors, so only loop-carried constraints
 /// can close a placement window — and those always open up as the II grows.
-fn earliest_start_order(ddg: &Ddg, ii: u32) -> Vec<NodeId> {
-    let est =
-        hrms_modsched::mii::earliest_starts(ddg, ii).unwrap_or_else(|| vec![0; ddg.num_nodes()]);
+fn earliest_start_order(la: &LoopAnalysis<'_>, ii: u32) -> Vec<NodeId> {
+    let ddg = la.ddg();
+    let est = la
+        .earliest_starts(ii)
+        .unwrap_or_else(|| vec![0; ddg.num_nodes()]);
     let mut order: Vec<NodeId> = ddg.node_ids().collect();
     order.sort_by_key(|n| (est[n.index()], n.index()));
     order
@@ -184,8 +197,60 @@ fn earliest_start_order(ddg: &Ddg, ii: u32) -> Vec<NodeId> {
 /// One pass of the scheduling step (Section 3.3) at a fixed II. Returns the
 /// schedule, or `None` if some node found no free slot (the caller then
 /// increases the II).
+///
+/// Builds the loop's dense placement arcs on the fly; callers with a shared
+/// per-loop analysis (or several IIs to try) should use
+/// [`schedule_at_ii_with`] so the arcs are built once.
 pub fn schedule_at_ii(ddg: &Ddg, machine: &Machine, order: &[NodeId], ii: u32) -> Option<Schedule> {
-    let mut partial = PartialSchedule::new(machine, ii);
+    let arcs = Arc::new(PlacementCsr::from_graph(ddg));
+    schedule_at_ii_with(ddg, machine, &arcs, order, ii)
+}
+
+/// [`schedule_at_ii`] over prebuilt dense placement arcs (typically
+/// `analysis.placement()` of the loop's [`LoopAnalysis`]): every
+/// `Early_Start`/`Late_Start` evaluation scans flat arc slices with
+/// precomputed dependence latencies instead of walking [`Ddg`] edge lists.
+pub fn schedule_at_ii_with(
+    ddg: &Ddg,
+    machine: &Machine,
+    arcs: &Arc<PlacementCsr>,
+    order: &[NodeId],
+    ii: u32,
+) -> Option<Schedule> {
+    place_in_order(
+        ddg,
+        machine,
+        PartialSchedule::with_placement(machine, ii, arcs.clone()),
+        order,
+    )
+}
+
+/// The pre-refactor placement path, kept callable for the differential
+/// suite and the placement micro-benchmark: identical scan logic, but every
+/// `Early_Start`/`Late_Start` walks the [`Ddg`] edge lists and resolves
+/// dependence latencies per edge. Produces byte-identical schedules to
+/// [`schedule_at_ii_with`] (asserted across the reference and generated
+/// workloads by `tests/placement_differential.rs`).
+pub fn schedule_at_ii_reference(
+    ddg: &Ddg,
+    machine: &Machine,
+    order: &[NodeId],
+    ii: u32,
+) -> Option<Schedule> {
+    place_in_order(ddg, machine, PartialSchedule::new(machine, ii), order)
+}
+
+/// The placement scan shared by the dense and reference paths: the paper's
+/// per-node case analysis (preds only → ASAP, succs only → ALAP, both →
+/// bounded forward scan, neither → ASAP from 0), driven by whichever
+/// start-time machinery `partial` was constructed with.
+fn place_in_order(
+    ddg: &Ddg,
+    machine: &Machine,
+    mut partial: PartialSchedule,
+    order: &[NodeId],
+) -> Option<Schedule> {
+    let ii = partial.ii();
     for &u in order {
         let early = partial.early_start(ddg, u);
         let late = partial.late_start(ddg, u);

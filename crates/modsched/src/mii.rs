@@ -1,27 +1,24 @@
 //! Minimum initiation interval: `MII = max(ResMII, RecMII)`.
+//!
+//! The Bellman-Ford cores (longest paths, positive-cycle detection, the
+//! exact RecMII binary search) live in [`hrms_ddg::analysis`] so they can
+//! run over the flat, latency-resolved edge list a [`LoopAnalysis`] caches
+//! once per loop. The free functions here keep the historical
+//! `(ddg, ii)`-shaped API — each of them flattens the edge list on every
+//! call; callers holding a `LoopAnalysis` use its `earliest_starts` /
+//! `latest_starts` / `rec_mii` methods (or [`zero_slack_nodes_with`])
+//! to reuse the shared cache instead.
 
-use hrms_ddg::{Ddg, DepKind, Edge, NodeId};
+use hrms_ddg::analysis::{collect_dep_edges, latest_starts_from, longest_paths};
+use hrms_ddg::{Ddg, LoopAnalysis, NodeId};
 use hrms_machine::{res_mii, Machine};
 
 use crate::error::SchedError;
 
-/// The latency enforced along a dependence edge: the number of cycles that
-/// must elapse between the issue of the source and the issue of the target
-/// (before accounting for the `δ·II` slack of loop-carried dependences).
-///
-/// Register flow, memory and control dependences wait for the producer to
-/// complete (`λ(u)` cycles). Anti and output register dependences only
-/// require issue order (1 cycle): the consumer of an anti-dependence reads
-/// the old value at issue time, so the new definition merely has to be
-/// issued later.
-pub fn dependence_latency(ddg: &Ddg, edge: &Edge) -> u32 {
-    match edge.kind() {
-        DepKind::RegAnti | DepKind::RegOutput => 1,
-        // RegFlow, Memory, Control and any future dependence kind wait for
-        // the producer to complete.
-        _ => ddg.node(edge.source()).latency(),
-    }
-}
+// Re-exported from the analysis module (moved there so the shared per-loop
+// cache can precompute latencies without depending on this crate); the
+// `hrms_modsched::mii::dependence_latency` path remains valid.
+pub use hrms_ddg::analysis::dependence_latency;
 
 /// The three lower bounds on the initiation interval of a loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +39,28 @@ impl MiiInfo {
     pub fn compute(ddg: &Ddg, machine: &Machine) -> Result<Self, SchedError> {
         let res = res_mii(ddg, machine);
         let rec = rec_mii(ddg)?;
+        Ok(MiiInfo {
+            res_mii: res,
+            rec_mii: rec,
+        })
+    }
+
+    /// [`MiiInfo::compute`] over a shared per-loop analysis: the RecMII
+    /// comes from (and is cached in) `analysis`, so a scheduler that also
+    /// pre-orders or computes start times pays the recurrence analysis only
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::ZeroDistanceCycle`] if the loop body contains a
+    /// dependence cycle of total distance zero.
+    pub fn compute_with(
+        ddg: &Ddg,
+        machine: &Machine,
+        analysis: &LoopAnalysis<'_>,
+    ) -> Result<Self, SchedError> {
+        let res = res_mii(ddg, machine);
+        let rec = analysis.rec_mii().ok_or(SchedError::ZeroDistanceCycle)?;
         Ok(MiiInfo {
             res_mii: res,
             rec_mii: rec,
@@ -76,75 +95,8 @@ impl MiiInfo {
 /// Returns [`SchedError::ZeroDistanceCycle`] if a cycle of distance zero
 /// exists (the constraint system is infeasible for every II).
 pub fn rec_mii(ddg: &Ddg) -> Result<u32, SchedError> {
-    // Upper bound: the sum of all dependence latencies is always feasible
-    // (every circuit has distance >= 1 once zero-distance cycles are ruled
-    // out, and its latency sum is <= this bound).
-    let upper: u64 = ddg
-        .edges()
-        .map(|(_, e)| u64::from(dependence_latency(ddg, e)))
-        .sum::<u64>()
-        .max(1);
-
-    if !has_positive_cycle(ddg, upper) {
-        // Check feasibility at II = upper; if even that fails there must be a
-        // zero-distance cycle (weight stays positive for arbitrarily large
-        // II only when the cycle distance is 0).
-        let mut lo = 0u64; // known-infeasible (or "no constraint" level)
-        let mut hi = upper; // known-feasible
-        while lo + 1 < hi {
-            let mid = lo + (hi - lo) / 2;
-            if has_positive_cycle(ddg, mid) {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        // hi is the smallest feasible II; if even II = 1 is feasible and the
-        // graph is acyclic we report 0 (no recurrence constraint).
-        if hi == 1 && !has_positive_cycle(ddg, 0) {
-            // II = 0 feasible means no cycle imposes anything: acyclic.
-            return Ok(0);
-        }
-        Ok(hi as u32)
-    } else {
-        Err(SchedError::ZeroDistanceCycle)
-    }
-}
-
-/// Whether the constraint graph with edge weights `latency − δ·II` contains
-/// a positive-weight cycle (which makes the given II infeasible).
-fn has_positive_cycle(ddg: &Ddg, ii: u64) -> bool {
-    let n = ddg.num_nodes();
-    if n == 0 {
-        return false;
-    }
-    // Longest-path Bellman-Ford from a virtual source connected to every
-    // node with weight 0. dist[] can only increase; if it still increases
-    // after n iterations there is a positive cycle.
-    let mut dist = vec![0i64; n];
-    let edges: Vec<(usize, usize, i64)> = ddg
-        .edges()
-        .map(|(_, e)| {
-            let w = i64::from(dependence_latency(ddg, e)) - (e.distance() as i64) * (ii as i64);
-            (e.source().index(), e.target().index(), w)
-        })
-        .collect();
-    for round in 0..n {
-        let mut changed = false;
-        for &(u, v, w) in &edges {
-            if dist[u] + w > dist[v] {
-                dist[v] = dist[u] + w;
-                changed = true;
-            }
-        }
-        if !changed {
-            return false;
-        }
-        if round == n - 1 && changed {
-            return true;
-        }
-    }
-    false
+    hrms_ddg::analysis::exact_rec_mii(ddg.num_nodes(), &collect_dep_edges(ddg))
+        .ok_or(SchedError::ZeroDistanceCycle)
 }
 
 /// Latency-weighted earliest start times for a *given* II, ignoring
@@ -154,31 +106,7 @@ fn has_positive_cycle(ddg: &Ddg, ii: u64) -> bool {
 /// Returns `None` if the constraints are infeasible at this II (i.e. `ii <
 /// RecMII`).
 pub fn earliest_starts(ddg: &Ddg, ii: u32) -> Option<Vec<i64>> {
-    let n = ddg.num_nodes();
-    let mut dist = vec![0i64; n];
-    let edges: Vec<(usize, usize, i64)> = ddg
-        .edges()
-        .map(|(_, e)| {
-            let w = i64::from(dependence_latency(ddg, e)) - (e.distance() as i64) * i64::from(ii);
-            (e.source().index(), e.target().index(), w)
-        })
-        .collect();
-    for round in 0..=n {
-        let mut changed = false;
-        for &(u, v, w) in &edges {
-            if dist[u] + w > dist[v] {
-                dist[v] = dist[u] + w;
-                changed = true;
-            }
-        }
-        if !changed {
-            return Some(dist);
-        }
-        if round == n {
-            return None;
-        }
-    }
-    Some(dist)
+    longest_paths(ddg.num_nodes(), &collect_dep_edges(ddg), ii)
 }
 
 /// Latest start times relative to the critical-path length `horizon`, for a
@@ -187,54 +115,40 @@ pub fn earliest_starts(ddg: &Ddg, ii: u32) -> Option<Vec<i64>> {
 ///
 /// Returns `None` if the constraints are infeasible at this II.
 pub fn latest_starts(ddg: &Ddg, ii: u32, horizon: i64) -> Option<Vec<i64>> {
-    let n = ddg.num_nodes();
-    let mut dist = vec![horizon; n];
-    let edges: Vec<(usize, usize, i64)> = ddg
-        .edges()
-        .map(|(_, e)| {
-            let w = i64::from(dependence_latency(ddg, e)) - (e.distance() as i64) * i64::from(ii);
-            (e.source().index(), e.target().index(), w)
-        })
-        .collect();
-    for round in 0..=n {
-        let mut changed = false;
-        for &(u, v, w) in &edges {
-            if dist[v] - w < dist[u] {
-                dist[u] = dist[v] - w;
-                changed = true;
-            }
-        }
-        if !changed {
-            return Some(dist);
-        }
-        if round == n {
-            return None;
-        }
-    }
-    Some(dist)
+    latest_starts_from(ddg.num_nodes(), &collect_dep_edges(ddg), ii, horizon)
 }
 
 /// Convenience: the set of nodes whose earliest and latest start coincide at
 /// `ii` (zero slack), i.e. the nodes on the binding recurrence/critical
-/// path.
+/// path. Builds the latency-resolved edge list once and runs both
+/// Bellman-Ford passes over it (it used to be rebuilt per pass).
 pub fn zero_slack_nodes(ddg: &Ddg, ii: u32) -> Vec<NodeId> {
-    let Some(early) = earliest_starts(ddg, ii) else {
+    let edges = collect_dep_edges(ddg);
+    zero_slack_over(ddg, &edges, ii)
+}
+
+/// [`zero_slack_nodes`] over a shared per-loop analysis (no edge-list
+/// rebuild at all).
+pub fn zero_slack_nodes_with(analysis: &LoopAnalysis<'_>, ii: u32) -> Vec<NodeId> {
+    zero_slack_over(analysis.ddg(), analysis.dep_edges(), ii)
+}
+
+fn zero_slack_over(ddg: &Ddg, edges: &[hrms_ddg::DepEdge], ii: u32) -> Vec<NodeId> {
+    let n = ddg.num_nodes();
+    let Some(early) = longest_paths(n, edges, ii) else {
         return Vec::new();
     };
     let horizon = early.iter().copied().max().unwrap_or(0)
         + ddg
             .nodes()
-            .map(|(_, n)| i64::from(n.latency()))
+            .map(|(_, node)| i64::from(node.latency()))
             .max()
             .unwrap_or(0);
-    let Some(late) = latest_starts(ddg, ii, horizon) else {
+    let Some(late) = latest_starts_from(n, edges, ii, horizon) else {
         return Vec::new();
     };
-    let min_slack = (0..ddg.num_nodes())
-        .map(|i| late[i] - early[i])
-        .min()
-        .unwrap_or(0);
-    (0..ddg.num_nodes())
+    let min_slack = (0..n).map(|i| late[i] - early[i]).min().unwrap_or(0);
+    (0..n)
         .filter(|&i| late[i] - early[i] == min_slack)
         .map(NodeId::from_index)
         .collect()

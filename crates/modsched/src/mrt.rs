@@ -1,7 +1,5 @@
 //! The modulo reservation table (MRT).
 
-use std::collections::HashMap;
-
 use hrms_ddg::{NodeId, OpKind};
 use hrms_machine::{ClassId, Machine};
 
@@ -23,8 +21,12 @@ pub struct ModuloReservationTable {
     usage: Vec<Vec<u32>>,
     /// capacity per class.
     capacity: Vec<u32>,
-    /// node -> (class, first slot, occupancy) for removal.
-    placements: HashMap<NodeId, (ClassId, i64, u32)>,
+    /// Per node index: (class, first cycle, occupancy) while placed. Dense
+    /// and grown lazily, so the once-per-placement-attempt "already placed?"
+    /// check is an array read rather than a hash lookup.
+    placements: Vec<Option<(ClassId, i64, u32)>>,
+    /// Number of placed operations (kept incrementally).
+    placed: usize,
 }
 
 impl ModuloReservationTable {
@@ -43,7 +45,8 @@ impl ModuloReservationTable {
                 .map(|_| vec![0; ii as usize])
                 .collect(),
             capacity: machine.classes().iter().map(|c| c.count).collect(),
-            placements: HashMap::new(),
+            placements: Vec::new(),
+            placed: 0,
         }
     }
 
@@ -56,13 +59,19 @@ impl ModuloReservationTable {
     /// Number of operations currently placed.
     #[inline]
     pub fn len(&self) -> usize {
-        self.placements.len()
+        self.placed
     }
 
     /// Whether the table is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.placements.is_empty()
+        self.placed == 0
+    }
+
+    /// The recorded placement of `node`, if any.
+    #[inline]
+    fn placement_of(&self, node: NodeId) -> Option<(ClassId, i64, u32)> {
+        self.placements.get(node.index()).copied().flatten()
     }
 
     fn slot(&self, cycle: i64) -> usize {
@@ -76,24 +85,43 @@ impl ModuloReservationTable {
     /// the table and demands the same slot more than once (its own execution
     /// overlaps the next iteration's instance), so the check accumulates the
     /// operation's per-slot demand before comparing against the capacity.
+    ///
+    /// This runs once per *candidate cycle* of every placement scan — the
+    /// innermost loop of the scheduling step — so it is allocation-free:
+    /// `O(occupancy)` when the operation fits inside one table period (the
+    /// overwhelmingly common case), `O(II)` with a closed-form per-slot
+    /// demand when it wraps.
     pub fn can_place(&self, machine: &Machine, kind: OpKind, cycle: i64) -> bool {
         let class = machine.class_of(kind);
-        let occupancy = machine.occupancy_of(kind);
+        let occupancy = machine.occupancy_of(kind) as usize;
         let ii = self.ii as usize;
-        let mut demand = vec![0u32; ii];
-        for k in 0..occupancy {
-            demand[self.slot(cycle + i64::from(k))] += 1;
+        let usage = &self.usage[class.index()];
+        let capacity = self.capacity[class.index()];
+        let start = self.slot(cycle);
+        if occupancy <= ii {
+            // Demand is exactly 1 in `occupancy` consecutive modulo slots.
+            (0..occupancy).all(|k| {
+                let s = start + k;
+                let s = if s >= ii { s - ii } else { s };
+                usage[s] < capacity
+            })
+        } else {
+            // The operation wraps the whole table `occupancy / II` times and
+            // covers `occupancy mod II` further slots starting at `start`.
+            let base = (occupancy / ii) as u32;
+            let rem = occupancy % ii;
+            (0..ii).all(|s| {
+                let extra = u32::from((s + ii - start) % ii < rem);
+                usage[s] + base + extra <= capacity
+            })
         }
-        demand.iter().enumerate().all(|(slot, &d)| {
-            d == 0 || self.usage[class.index()][slot] + d <= self.capacity[class.index()]
-        })
     }
 
     /// Places `node` (of kind `kind`) at `cycle`. Returns `false` (and leaves
     /// the table untouched) if the placement would oversubscribe a unit or if
     /// the node is already placed.
     pub fn place(&mut self, machine: &Machine, node: NodeId, kind: OpKind, cycle: i64) -> bool {
-        if self.placements.contains_key(&node) || !self.can_place(machine, kind, cycle) {
+        if self.placement_of(node).is_some() || !self.can_place(machine, kind, cycle) {
             return false;
         }
         let class = machine.class_of(kind);
@@ -102,16 +130,23 @@ impl ModuloReservationTable {
             let slot = self.slot(cycle + i64::from(k));
             self.usage[class.index()][slot] += 1;
         }
-        self.placements.insert(node, (class, cycle, occupancy));
+        let i = node.index();
+        if i >= self.placements.len() {
+            self.placements.resize(i + 1, None);
+        }
+        self.placements[i] = Some((class, cycle, occupancy));
+        self.placed += 1;
         true
     }
 
     /// Removes a previously placed node, freeing its slots. Returns whether
     /// the node was present.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        let Some((class, cycle, occupancy)) = self.placements.remove(&node) else {
+        let Some((class, cycle, occupancy)) = self.placement_of(node) else {
             return false;
         };
+        self.placements[node.index()] = None;
+        self.placed -= 1;
         for k in 0..occupancy {
             let slot = self.slot(cycle + i64::from(k));
             debug_assert!(self.usage[class.index()][slot] > 0);

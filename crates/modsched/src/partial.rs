@@ -1,13 +1,17 @@
 //! Partial schedules: the mutable state a scheduler builds up node by node.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use hrms_ddg::{Ddg, NodeId};
+use hrms_ddg::{Ddg, NodeId, PlacementCsr};
 use hrms_machine::Machine;
 
 use crate::mii::dependence_latency;
 use crate::mrt::ModuloReservationTable;
 use crate::schedule::Schedule;
+
+/// Sentinel for "not placed" in the dense cycle array. Real cycles are sums
+/// of latencies and `II` multiples and can never reach `i64::MIN`.
+const UNPLACED: i64 = i64::MIN;
 
 /// A partially-built modulo schedule: a set of placed operations together
 /// with the modulo reservation table that tracks their resource usage.
@@ -15,15 +19,37 @@ use crate::schedule::Schedule;
 /// Both HRMS and the baselines drive scheduling through this type, which
 /// exposes the paper's `Early_Start` / `Late_Start` computations and the
 /// modulo-constrained slot scans of Section 3.3.
+///
+/// # Dense placement path
+///
+/// Placed cycles live in a dense `Vec<i64>` indexed by node id (grown
+/// lazily), so `cycle_of`/`is_scheduled` are array reads instead of hash
+/// lookups. A partial schedule created with
+/// [`PartialSchedule::with_placement`] additionally holds the loop's
+/// [`PlacementCsr`] — per-node dependence arcs with precomputed
+/// [`dependence_latency`] values — and computes `Early_Start`/`Late_Start`
+/// by scanning those flat slices (`O(degree)` with no per-edge latency
+/// dispatch). Without it, the same computations walk the [`Ddg`] edge lists
+/// and resolve latencies on the fly; both paths produce identical results
+/// (pinned by the workspace differential suite).
 #[derive(Debug, Clone)]
 pub struct PartialSchedule {
     ii: u32,
-    cycles: HashMap<NodeId, i64>,
+    /// Cycle per node index, [`UNPLACED`] when absent; grown on demand.
+    cycles: Vec<i64>,
+    /// Number of placed operations (kept incrementally).
+    placed: usize,
     mrt: ModuloReservationTable,
+    /// Dense dependence arcs of the loop being scheduled, if provided.
+    /// Shared via [`Arc`]: cloning a partial schedule (the branch-and-bound
+    /// search does this on every leaf) must not copy the arc arrays.
+    arcs: Option<Arc<PlacementCsr>>,
 }
 
 impl PartialSchedule {
-    /// Creates an empty partial schedule for the given II.
+    /// Creates an empty partial schedule for the given II. Start-time
+    /// bounds fall back to walking the [`Ddg`] passed to each call; prefer
+    /// [`PartialSchedule::with_placement`] on hot paths.
     ///
     /// # Panics
     ///
@@ -31,9 +57,26 @@ impl PartialSchedule {
     pub fn new(machine: &Machine, ii: u32) -> Self {
         PartialSchedule {
             ii,
-            cycles: HashMap::new(),
+            cycles: Vec::new(),
+            placed: 0,
             mrt: ModuloReservationTable::new(machine, ii),
+            arcs: None,
         }
+    }
+
+    /// Creates an empty partial schedule that computes `Early_Start` /
+    /// `Late_Start` over the given dense placement arcs (typically
+    /// `analysis.placement().clone()` from a
+    /// [`hrms_ddg::LoopAnalysis`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is 0.
+    pub fn with_placement(machine: &Machine, ii: u32, arcs: Arc<PlacementCsr>) -> Self {
+        let mut ps = PartialSchedule::new(machine, ii);
+        ps.cycles = vec![UNPLACED; arcs.node_bound()];
+        ps.arcs = Some(arcs);
+        ps
     }
 
     /// The initiation interval being scheduled for.
@@ -45,30 +88,56 @@ impl PartialSchedule {
     /// Number of operations already placed.
     #[inline]
     pub fn len(&self) -> usize {
-        self.cycles.len()
+        self.placed
     }
 
     /// Whether no operation has been placed yet.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.cycles.is_empty()
+        self.placed == 0
+    }
+
+    /// The cycle at dense index `i`, if placed.
+    #[inline]
+    fn cycle_at(&self, i: usize) -> Option<i64> {
+        match self.cycles.get(i) {
+            Some(&c) if c != UNPLACED => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Records `cycle` for `node`, growing the dense array as needed.
+    #[inline]
+    fn set_cycle(&mut self, node: NodeId, cycle: i64) {
+        let i = node.index();
+        if i >= self.cycles.len() {
+            self.cycles.resize(i + 1, UNPLACED);
+        }
+        debug_assert_eq!(self.cycles[i], UNPLACED, "node {node} placed twice");
+        self.cycles[i] = cycle;
+        self.placed += 1;
     }
 
     /// The cycle assigned to `node`, if it has been placed.
     #[inline]
     pub fn cycle_of(&self, node: NodeId) -> Option<i64> {
-        self.cycles.get(&node).copied()
+        self.cycle_at(node.index())
     }
 
     /// Whether `node` has been placed.
     #[inline]
     pub fn is_scheduled(&self, node: NodeId) -> bool {
-        self.cycles.contains_key(&node)
+        self.cycle_at(node.index()).is_some()
     }
 
-    /// Iterates over the placed operations and their cycles.
+    /// Iterates over the placed operations and their cycles, in ascending
+    /// node-id order.
     pub fn placements(&self) -> impl Iterator<Item = (NodeId, i64)> + '_ {
-        self.cycles.iter().map(|(&n, &c)| (n, c))
+        self.cycles
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != UNPLACED)
+            .map(|(i, &c)| (NodeId::from_index(i), c))
     }
 
     /// The *predecessors scheduled previously* of `u` — `PSP(u)` in the
@@ -91,19 +160,32 @@ impl PartialSchedule {
     /// The paper's `Early_Start(u)`:
     /// `max over scheduled predecessors v of t(v) + λ(v) − δ(v,u)·II`.
     ///
-    /// Returns `None` when no predecessor has been scheduled.
+    /// Returns `None` when no predecessor has been scheduled. `O(in-degree)`
+    /// over the dense arc slice when the schedule was created with
+    /// [`PartialSchedule::with_placement`]; otherwise walks `ddg.in_edges`.
     pub fn early_start(&self, ddg: &Ddg, u: NodeId) -> Option<i64> {
+        let ii = i64::from(self.ii);
         let mut best: Option<i64> = None;
-        for (_, e) in ddg.in_edges(u) {
-            if e.source() == u {
-                continue; // self-dependences only bound II, not placement
+        if let Some(arcs) = &self.arcs {
+            for a in arcs.in_arcs(u.index()) {
+                let Some(tv) = self.cycle_at(a.other as usize) else {
+                    continue;
+                };
+                let bound = tv + i64::from(a.latency) - i64::from(a.distance) * ii;
+                best = Some(best.map_or(bound, |b: i64| b.max(bound)));
             }
-            let Some(tv) = self.cycle_of(e.source()) else {
-                continue;
-            };
-            let bound = tv + i64::from(dependence_latency(ddg, e))
-                - i64::from(e.distance()) * i64::from(self.ii);
-            best = Some(best.map_or(bound, |b: i64| b.max(bound)));
+        } else {
+            for (_, e) in ddg.in_edges(u) {
+                if e.source() == u {
+                    continue; // self-dependences only bound II, not placement
+                }
+                let Some(tv) = self.cycle_of(e.source()) else {
+                    continue;
+                };
+                let bound =
+                    tv + i64::from(dependence_latency(ddg, e)) - i64::from(e.distance()) * ii;
+                best = Some(best.map_or(bound, |b: i64| b.max(bound)));
+            }
         }
         best
     }
@@ -111,19 +193,32 @@ impl PartialSchedule {
     /// The paper's `Late_Start(u)`:
     /// `min over scheduled successors v of t(v) − λ(u) + δ(u,v)·II`.
     ///
-    /// Returns `None` when no successor has been scheduled.
+    /// Returns `None` when no successor has been scheduled. `O(out-degree)`
+    /// over the dense arc slice when the schedule was created with
+    /// [`PartialSchedule::with_placement`]; otherwise walks `ddg.out_edges`.
     pub fn late_start(&self, ddg: &Ddg, u: NodeId) -> Option<i64> {
+        let ii = i64::from(self.ii);
         let mut best: Option<i64> = None;
-        for (_, e) in ddg.out_edges(u) {
-            if e.target() == u {
-                continue;
+        if let Some(arcs) = &self.arcs {
+            for a in arcs.out_arcs(u.index()) {
+                let Some(tv) = self.cycle_at(a.other as usize) else {
+                    continue;
+                };
+                let bound = tv - i64::from(a.latency) + i64::from(a.distance) * ii;
+                best = Some(best.map_or(bound, |b: i64| b.min(bound)));
             }
-            let Some(tv) = self.cycle_of(e.target()) else {
-                continue;
-            };
-            let bound = tv - i64::from(dependence_latency(ddg, e))
-                + i64::from(e.distance()) * i64::from(self.ii);
-            best = Some(best.map_or(bound, |b: i64| b.min(bound)));
+        } else {
+            for (_, e) in ddg.out_edges(u) {
+                if e.target() == u {
+                    continue;
+                }
+                let Some(tv) = self.cycle_of(e.target()) else {
+                    continue;
+                };
+                let bound =
+                    tv - i64::from(dependence_latency(ddg, e)) + i64::from(e.distance()) * ii;
+                best = Some(best.map_or(bound, |b: i64| b.min(bound)));
+            }
         }
         best
     }
@@ -147,7 +242,7 @@ impl PartialSchedule {
         for k in 0..i64::from(span) {
             let cycle = from + k;
             if self.mrt.place(machine, u, kind, cycle) {
-                self.cycles.insert(u, cycle);
+                self.set_cycle(u, cycle);
                 return Some(cycle);
             }
         }
@@ -168,7 +263,7 @@ impl PartialSchedule {
         for k in 0..i64::from(span) {
             let cycle = from - k;
             if self.mrt.place(machine, u, kind, cycle) {
-                self.cycles.insert(u, cycle);
+                self.set_cycle(u, cycle);
                 return Some(cycle);
             }
         }
@@ -179,7 +274,7 @@ impl PartialSchedule {
     pub fn place_at(&mut self, ddg: &Ddg, machine: &Machine, u: NodeId, cycle: i64) -> bool {
         let kind = ddg.node(u).kind();
         if self.mrt.place(machine, u, kind, cycle) {
-            self.cycles.insert(u, cycle);
+            self.set_cycle(u, cycle);
             true
         } else {
             false
@@ -189,7 +284,10 @@ impl PartialSchedule {
     /// Removes `u` from the partial schedule (used by backtracking
     /// schedulers such as Slack). Returns whether it was present.
     pub fn unplace(&mut self, u: NodeId) -> bool {
-        if self.cycles.remove(&u).is_some() {
+        let i = u.index();
+        if self.cycle_at(i).is_some() {
+            self.cycles[i] = UNPLACED;
+            self.placed -= 1;
             self.mrt.remove(u);
             true
         } else {
@@ -207,9 +305,7 @@ impl PartialSchedule {
         let cycles: Vec<i64> = ddg
             .node_ids()
             .map(|n| {
-                *self
-                    .cycles
-                    .get(&n)
+                self.cycle_at(n.index())
                     .unwrap_or_else(|| panic!("node {n} was never scheduled"))
             })
             .collect();
@@ -341,6 +437,39 @@ mod tests {
         let s = ps.into_schedule(&g);
         assert_eq!(s.ii(), 2);
         assert_eq!(s.cycle(ids[2]) - s.cycle(ids[0]), 4);
+    }
+
+    #[test]
+    fn dense_placement_matches_ddg_walking_bounds() {
+        let (g, ids) = simple();
+        let m = presets::govindarajan();
+        let arcs = std::sync::Arc::new(hrms_ddg::PlacementCsr::from_graph(&g));
+        let mut dense = PartialSchedule::with_placement(&m, 2, arcs);
+        let mut sparse = PartialSchedule::new(&m, 2);
+        for (u, c) in [(ids[0], 0i64), (ids[2], 6)] {
+            assert!(dense.place_at(&g, &m, u, c));
+            assert!(sparse.place_at(&g, &m, u, c));
+        }
+        for &u in &ids {
+            assert_eq!(dense.early_start(&g, u), sparse.early_start(&g, u));
+            assert_eq!(dense.late_start(&g, u), sparse.late_start(&g, u));
+            assert_eq!(dense.cycle_of(u), sparse.cycle_of(u));
+        }
+        assert_eq!(dense.len(), 2);
+        assert!(dense.unplace(ids[2]));
+        assert_eq!(dense.len(), 1);
+        assert_eq!(dense.late_start(&g, ids[1]), None);
+    }
+
+    #[test]
+    fn placements_iterate_in_node_order() {
+        let (g, ids) = simple();
+        let m = presets::govindarajan();
+        let mut ps = PartialSchedule::new(&m, 2);
+        ps.place_at(&g, &m, ids[2], 4);
+        ps.place_at(&g, &m, ids[0], 0);
+        let got: Vec<(NodeId, i64)> = ps.placements().collect();
+        assert_eq!(got, vec![(ids[0], 0), (ids[2], 4)]);
     }
 
     #[test]
