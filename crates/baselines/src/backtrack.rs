@@ -11,7 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use hrms_ddg::{Ddg, LoopAnalysis, NodeId, PlacementCsr};
+use hrms_ddg::{Ddg, LoopAnalysis, NodeId, PerIiStarts, PlacementCsr};
 use hrms_machine::Machine;
 use hrms_modsched::{PartialSchedule, Schedule};
 
@@ -29,24 +29,28 @@ pub enum Flavor {
 
 /// One attempt at a fixed II, over the loop's shared analysis (cached
 /// dependence edges for the static bounds, dense placement arcs for the
-/// dynamic ones and for eviction). Returns `None` if the placement budget
-/// was exhausted (caller escalates the II).
+/// dynamic ones and for eviction) and the escalation driver's incremental
+/// start-time cache (the static bounds update from the previous II instead
+/// of rerunning Bellman-Ford from scratch). Returns `None` if the placement
+/// budget was exhausted (caller escalates the II).
 pub fn schedule_with_backtracking(
     la: &LoopAnalysis<'_>,
+    starts: &mut PerIiStarts,
     machine: &Machine,
     ii: u32,
     flavor: Flavor,
     budget: u64,
 ) -> Option<Schedule> {
     let ddg = la.ddg();
-    let est = la.earliest_starts(ii)?;
+    let solved = starts.at(la, ii)?;
+    let est = solved.earliest().to_vec();
     let horizon = est.iter().copied().max().unwrap_or(0)
         + ddg
             .nodes()
             .map(|(_, node)| i64::from(node.latency()))
             .max()
             .unwrap_or(1);
-    let lst = la.latest_starts(ii, horizon)?;
+    let lst = solved.latest(horizon);
 
     let mut partial = PartialSchedule::with_placement(machine, ii, la.placement().clone());
     let mut unscheduled: HashSet<NodeId> = ddg.node_ids().collect();
@@ -272,7 +276,7 @@ mod tests {
         let m = presets::govindarajan();
         let la = LoopAnalysis::analyze(&g);
         for flavor in [Flavor::Iterative, Flavor::Slack] {
-            let s = schedule_with_backtracking(&la, &m, 4, flavor, 10_000)
+            let s = schedule_with_backtracking(&la, &mut PerIiStarts::new(), &m, 4, flavor, 10_000)
                 .unwrap_or_else(|| panic!("{flavor:?} failed at II = 4"));
             validate_schedule(&g, &m, &s).unwrap();
             assert_eq!(s.ii(), 4);
@@ -292,7 +296,8 @@ mod tests {
         let m = presets::govindarajan();
         let la = LoopAnalysis::analyze(&g);
         for flavor in [Flavor::Iterative, Flavor::Slack] {
-            let s = schedule_with_backtracking(&la, &m, 4, flavor, 10_000).unwrap();
+            let s = schedule_with_backtracking(&la, &mut PerIiStarts::new(), &m, 4, flavor, 10_000)
+                .unwrap();
             validate_schedule(&g, &m, &s).unwrap();
         }
     }
@@ -305,8 +310,24 @@ mod tests {
         let g = b.build().unwrap();
         let m = presets::govindarajan();
         let la = LoopAnalysis::analyze(&g);
-        assert!(schedule_with_backtracking(&la, &m, 3, Flavor::Iterative, 1000).is_none());
-        assert!(schedule_with_backtracking(&la, &m, 4, Flavor::Iterative, 1000).is_some());
+        assert!(schedule_with_backtracking(
+            &la,
+            &mut PerIiStarts::new(),
+            &m,
+            3,
+            Flavor::Iterative,
+            1000
+        )
+        .is_none());
+        assert!(schedule_with_backtracking(
+            &la,
+            &mut PerIiStarts::new(),
+            &m,
+            4,
+            Flavor::Iterative,
+            1000
+        )
+        .is_some());
     }
 
     #[test]
@@ -314,6 +335,9 @@ mod tests {
         let g = dense_loads();
         let m = presets::govindarajan();
         let la = LoopAnalysis::analyze(&g);
-        assert!(schedule_with_backtracking(&la, &m, 4, Flavor::Slack, 2).is_none());
+        assert!(
+            schedule_with_backtracking(&la, &mut PerIiStarts::new(), &m, 4, Flavor::Slack, 2)
+                .is_none()
+        );
     }
 }

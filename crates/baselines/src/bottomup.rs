@@ -35,7 +35,7 @@ impl ModuloScheduler for BottomUpScheduler {
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
         let order = bottomup_order(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _, la| {
+        escalate_ii(ddg, machine, &self.config, |ii, _, la, _starts| {
             schedule_directional_at_ii(la, machine, &order, ii, Direction::BottomUp)
         })
     }

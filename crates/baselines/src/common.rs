@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use hrms_ddg::{Ddg, LoopAnalysis, NodeId, TopoLevels};
+use hrms_ddg::{Ddg, LoopAnalysis, NodeId, PerIiStarts, TopoLevels};
 use hrms_machine::Machine;
 use hrms_modsched::{
     MiiInfo, PartialSchedule, SchedError, Schedule, ScheduleOutcome, SchedulerConfig,
@@ -121,10 +121,14 @@ pub fn schedule_directional_at_ii(
 
 /// The II-escalation driver shared by every baseline: analyses the loop
 /// once, computes the MII from the cached analysis, then tries
-/// `attempt(ii, mii, &analysis)` for II = MII, MII+1, ... up to the
-/// configured cap. The analysis handed to every attempt carries the dense
-/// placement arcs and the cached dependence-edge list, so per-II passes
-/// never rebuild per-loop structures.
+/// `attempt(ii, mii, &analysis, &mut starts)` for II = MII, MII+1, ... up
+/// to the configured cap. The analysis handed to every attempt carries the
+/// dense placement arcs and the cached dependence-edge list, and the
+/// [`PerIiStarts`] cache updates the resource-free earliest/latest start
+/// times **incrementally** from one II to the next (the loop-carried edge
+/// weights shift by one per unit of distance), so per-II passes neither
+/// rebuild per-loop structures nor rerun the Bellman-Ford passes from
+/// scratch.
 pub fn escalate_ii<F>(
     ddg: &Ddg,
     machine: &Machine,
@@ -132,7 +136,7 @@ pub fn escalate_ii<F>(
     mut attempt: F,
 ) -> Result<ScheduleOutcome, SchedError>
 where
-    F: FnMut(u32, MiiInfo, &LoopAnalysis<'_>) -> Option<Schedule>,
+    F: FnMut(u32, MiiInfo, &LoopAnalysis<'_>, &mut PerIiStarts) -> Option<Schedule>,
 {
     let start = Instant::now();
     let analysis = LoopAnalysis::analyze(ddg);
@@ -143,11 +147,12 @@ where
             max_ii_tried: max_ii,
         });
     }
+    let mut starts = PerIiStarts::new();
     let mut attempts = 0;
     let mut ii = mii.mii();
     loop {
         attempts += 1;
-        if let Some(schedule) = attempt(ii, mii, &analysis) {
+        if let Some(schedule) = attempt(ii, mii, &analysis, &mut starts) {
             return Ok(ScheduleOutcome::new(
                 ddg,
                 schedule,
@@ -236,7 +241,7 @@ mod tests {
             ..SchedulerConfig::default()
         };
         // An attempt that always fails must exhaust the cap.
-        let err = escalate_ii(&g, &m, &config, |_, _, _| None).unwrap_err();
+        let err = escalate_ii(&g, &m, &config, |_, _, _, _| None).unwrap_err();
         assert_eq!(err, SchedError::NoValidSchedule { max_ii_tried: 3 });
     }
 
@@ -246,7 +251,7 @@ mod tests {
         let m = presets::govindarajan();
         let config = SchedulerConfig::default();
         let order = topdown_order(&g);
-        let outcome = escalate_ii(&g, &m, &config, |ii, _, la| {
+        let outcome = escalate_ii(&g, &m, &config, |ii, _, la, _starts| {
             if ii < 4 {
                 None
             } else {

@@ -18,7 +18,7 @@
 //! but not always optimal IIs, and clearly higher buffer requirements than
 //! the lifetime-aware schedulers.
 
-use hrms_ddg::{Ddg, LoopAnalysis, NodeId};
+use hrms_ddg::{Ddg, LoopAnalysis, NodeId, PerIiStarts};
 use hrms_machine::Machine;
 use hrms_modsched::{
     validate_schedule, ModuloScheduler, PartialSchedule, SchedError, Schedule, ScheduleOutcome,
@@ -45,19 +45,26 @@ impl ModuloScheduler for FrlcScheduler {
     }
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
-        crate::common::escalate_ii(ddg, machine, &self.config, |ii, _, la| {
-            schedule_frlc_at_ii(la, machine, ii)
+        crate::common::escalate_ii(ddg, machine, &self.config, |ii, _, la, starts| {
+            schedule_frlc_at_ii(la, starts, machine, ii)
         })
     }
 }
 
-/// One FRLC attempt at a fixed II, over the loop's shared analysis (cached
-/// dependence edges for the levels, dense placement arcs for compaction).
-fn schedule_frlc_at_ii(la: &LoopAnalysis<'_>, machine: &Machine, ii: u32) -> Option<Schedule> {
+/// One FRLC attempt at a fixed II, over the loop's shared analysis (dense
+/// placement arcs for compaction) and the escalation driver's incremental
+/// start-time cache (the decomposition levels update from the previous II
+/// instead of rerunning Bellman-Ford from scratch).
+fn schedule_frlc_at_ii(
+    la: &LoopAnalysis<'_>,
+    starts: &mut PerIiStarts,
+    machine: &Machine,
+    ii: u32,
+) -> Option<Schedule> {
     let ddg = la.ddg();
     // Phase 1 (decomposition): resource-free earliest start times at this II
     // give each operation its stage and its scheduling priority.
-    let est = la.earliest_starts(ii)?;
+    let est = starts.at(la, ii)?.earliest();
     let mut order: Vec<NodeId> = ddg.node_ids().collect();
     order.sort_by_key(|&n| (est[n.index()], n.index()));
 

@@ -41,8 +41,8 @@ impl ModuloScheduler for IterativeScheduler {
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
         let budget = self.budget(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _, la| {
-            schedule_with_backtracking(la, machine, ii, Flavor::Iterative, budget)
+        escalate_ii(ddg, machine, &self.config, |ii, _, la, starts| {
+            schedule_with_backtracking(la, starts, machine, ii, Flavor::Iterative, budget)
         })
     }
 }

@@ -73,47 +73,49 @@ impl BranchAndBoundScheduler {
         };
         let order = bfs_order(ddg);
         let greedy_order = crate::common::topdown_order(ddg);
-        let outcome = crate::common::escalate_ii(ddg, machine, &self.config, |ii, _, la| {
-            // Seed the incumbent with a greedy top-down schedule at this II.
-            // This bounds the search from the start (better pruning) and
-            // guarantees graceful degradation: even if the budget runs out
-            // before the branch-and-bound completes a single leaf, the
-            // scheduler still returns a valid schedule no worse than the
-            // heuristic instead of escalating the II forever.
-            let (seed, seed_cost) = match crate::common::schedule_directional_at_ii(
-                la,
-                machine,
-                &greedy_order,
-                ii,
-                crate::common::Direction::TopDown,
-            ) {
-                Some(s) => {
-                    let cost = LifetimeAnalysis::analyze(ddg, &s).buffers();
-                    (Some(s), cost)
+        let outcome =
+            crate::common::escalate_ii(ddg, machine, &self.config, |ii, _, la, _starts| {
+                // Seed the incumbent with a greedy top-down schedule at this II.
+                // This bounds the search from the start (better pruning) and
+                // guarantees graceful degradation: even if the budget runs out
+                // before the branch-and-bound completes a single leaf, the
+                // scheduler still returns a valid schedule no worse than the
+                // heuristic instead of escalating the II forever.
+                let (seed, seed_cost) = match crate::common::schedule_directional_at_ii(
+                    la,
+                    machine,
+                    &greedy_order,
+                    ii,
+                    crate::common::Direction::TopDown,
+                ) {
+                    Some(s) => {
+                        let cost = LifetimeAnalysis::analyze(ddg, &s).buffers();
+                        (Some(s), cost)
+                    }
+                    None => (None, u64::MAX),
+                };
+                let mut search = Search {
+                    ddg,
+                    machine,
+                    ii,
+                    order: &order,
+                    best: seed,
+                    best_cost: seed_cost,
+                    explored: 0,
+                    budget: self.config.budget_per_ii,
+                };
+                // Dense placement arcs: the exhaustive search evaluates
+                // Early/Late_Start at every tree node, the hottest path in this
+                // crate.
+                let mut partial =
+                    PartialSchedule::with_placement(machine, ii, la.placement().clone());
+                search.explore(0, &mut partial);
+                stats.explored += search.explored;
+                if search.explored >= search.budget {
+                    stats.exhaustive = false;
                 }
-                None => (None, u64::MAX),
-            };
-            let mut search = Search {
-                ddg,
-                machine,
-                ii,
-                order: &order,
-                best: seed,
-                best_cost: seed_cost,
-                explored: 0,
-                budget: self.config.budget_per_ii,
-            };
-            // Dense placement arcs: the exhaustive search evaluates
-            // Early/Late_Start at every tree node, the hottest path in this
-            // crate.
-            let mut partial = PartialSchedule::with_placement(machine, ii, la.placement().clone());
-            search.explore(0, &mut partial);
-            stats.explored += search.explored;
-            if search.explored >= search.budget {
-                stats.exhaustive = false;
-            }
-            search.best
-        })?;
+                search.best
+            })?;
         Ok((outcome, stats))
     }
 }

@@ -50,8 +50,8 @@ impl ModuloScheduler for SlackScheduler {
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
         let budget = self.budget(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _, la| {
-            schedule_with_backtracking(la, machine, ii, Flavor::Slack, budget)
+        escalate_ii(ddg, machine, &self.config, |ii, _, la, starts| {
+            schedule_with_backtracking(la, starts, machine, ii, Flavor::Slack, budget)
         })
     }
 }

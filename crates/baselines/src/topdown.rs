@@ -36,7 +36,7 @@ impl ModuloScheduler for TopDownScheduler {
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
         let order = topdown_order(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _, la| {
+        escalate_ii(ddg, machine, &self.config, |ii, _, la, _starts| {
             schedule_directional_at_ii(la, machine, &order, ii, Direction::TopDown)
         })
     }

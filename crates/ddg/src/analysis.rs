@@ -40,6 +40,7 @@ use crate::dense::Csr;
 use crate::edge::{DepKind, Edge, EdgeId};
 use crate::graph::Ddg;
 use crate::node::NodeId;
+use crate::recurrence::RecurrenceGroups;
 use crate::scc;
 
 /// The latency enforced along a dependence edge: the number of cycles that
@@ -338,6 +339,203 @@ pub fn exact_rec_mii(n: usize, edges: &[DepEdge]) -> Option<u32> {
     Some(hi as u32)
 }
 
+/// Resource-free earliest/latest start times that update **incrementally**
+/// from one initiation interval to the next.
+///
+/// Every II-escalation step used to rerun both Bellman-Ford passes from
+/// scratch, although only the loop-carried edge weights change — by exactly
+/// `distance` per unit of II. This structure keeps, next to each start
+/// time, the distance sum of a path *witnessing* it. Advancing from II to
+/// II + d then warm-starts the relaxation from the witness values shifted
+/// by `d · distance` (clamped into the solution lattice), which is a valid
+/// lower (resp. upper) bound on the new fixpoint: the relaxation converges
+/// in one or two passes over the edge list instead of `O(|V|)` of them on
+/// typical escalation steps, while provably reaching the **same** fixpoint
+/// as a from-scratch [`longest_paths`] / [`latest_starts_from`] run (the
+/// workspace test suite pins the equality at every escalation step).
+///
+/// Latest starts are kept relative to horizon 0 (all values ≤ 0); the
+/// constraint system is shift-invariant, so [`IncrementalStarts::latest`]
+/// adds the caller's horizon back on.
+#[derive(Debug, Clone)]
+pub struct IncrementalStarts {
+    ii: u32,
+    /// Whether the stored vectors are the fixpoints at `ii` (a failed —
+    /// infeasible — solve leaves mid-relaxation values that are still
+    /// valid path witnesses, but not solutions).
+    solved: bool,
+    est: Vec<i64>,
+    est_dist: Vec<u64>,
+    lst: Vec<i64>,
+    lst_dist: Vec<u64>,
+}
+
+impl IncrementalStarts {
+    /// Computes both start-time solutions at `ii` from scratch. Returns
+    /// `None` when the constraints are infeasible (`ii` below the RecMII).
+    pub fn new(n: usize, edges: &[DepEdge], ii: u32) -> Option<Self> {
+        let mut s = IncrementalStarts {
+            ii,
+            solved: false,
+            est: vec![0; n],
+            est_dist: vec![0; n],
+            lst: vec![0; n],
+            lst_dist: vec![0; n],
+        };
+        s.solved = s.solve(edges);
+        s.solved.then_some(s)
+    }
+
+    /// The II the current solutions are valid for.
+    #[inline]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Advances the solutions to `ii`, warm-starting from the current
+    /// witnesses when `ii` is larger (the escalation direction) and
+    /// recomputing from scratch otherwise. Returns `false` when the
+    /// constraints are infeasible at `ii`; the stored values then still
+    /// witness real dependence paths, so a later advance to a feasible II
+    /// remains correct.
+    pub fn advance(&mut self, edges: &[DepEdge], ii: u32) -> bool {
+        if ii == self.ii && self.solved {
+            return true;
+        }
+        // Re-probing the II of a previously *failed* advance falls through
+        // and relaxes again from the stored witnesses (correctly failing
+        // again if still infeasible) instead of reporting stale values.
+        if ii < self.ii {
+            self.est.fill(0);
+            self.est_dist.fill(0);
+            self.lst.fill(0);
+            self.lst_dist.fill(0);
+        } else {
+            let d = i64::from(ii - self.ii);
+            for v in 0..self.est.len() {
+                let shifted = self.est[v] - d * self.est_dist[v] as i64;
+                if shifted <= 0 {
+                    self.est[v] = 0;
+                    self.est_dist[v] = 0;
+                } else {
+                    self.est[v] = shifted;
+                }
+                let shifted = self.lst[v] + d * self.lst_dist[v] as i64;
+                if shifted >= 0 {
+                    self.lst[v] = 0;
+                    self.lst_dist[v] = 0;
+                } else {
+                    self.lst[v] = shifted;
+                }
+            }
+        }
+        self.ii = ii;
+        self.solved = self.solve(edges);
+        self.solved
+    }
+
+    /// The earliest start times at the current II.
+    #[inline]
+    pub fn earliest(&self) -> &[i64] {
+        &self.est
+    }
+
+    /// The latest start times relative to horizon 0 (all ≤ 0).
+    #[inline]
+    pub fn latest_relative(&self) -> &[i64] {
+        &self.lst
+    }
+
+    /// The latest start times relative to `horizon`.
+    pub fn latest(&self, horizon: i64) -> Vec<i64> {
+        self.lst.iter().map(|&v| v + horizon).collect()
+    }
+
+    /// Runs both relaxations to their fixpoints from the current values.
+    /// The round bound is the same as the from-scratch passes': a solution
+    /// still changing after `n` sweeps implies a positive cycle.
+    fn solve(&mut self, edges: &[DepEdge]) -> bool {
+        let (n, ii) = (self.est.len(), i64::from(self.ii));
+        for round in 0..=n {
+            let mut changed = false;
+            for e in edges {
+                let w = e.weight(ii);
+                let (u, v) = (e.source as usize, e.target as usize);
+                let cand = self.est[u] + w;
+                if cand > self.est[v] {
+                    self.est[v] = cand;
+                    self.est_dist[v] = self.est_dist[u] + u64::from(e.distance);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            if round == n {
+                return false;
+            }
+        }
+        for round in 0..=n {
+            let mut changed = false;
+            for e in edges {
+                let w = e.weight(ii);
+                let (u, v) = (e.source as usize, e.target as usize);
+                let cand = self.lst[v] - w;
+                if cand < self.lst[u] {
+                    self.lst[u] = cand;
+                    self.lst_dist[u] = self.lst_dist[v] + u64::from(e.distance);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return true;
+            }
+            if round == n {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Lazily constructed [`IncrementalStarts`] for an II-escalation loop: the
+/// first II pays the two from-scratch passes, every later II a warm-started
+/// update. Handed by the baselines' escalation driver to each per-II
+/// attempt.
+#[derive(Debug, Default)]
+pub struct PerIiStarts {
+    inner: Option<IncrementalStarts>,
+}
+
+impl PerIiStarts {
+    /// An empty cache; nothing is computed until the first [`Self::at`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The start-time solutions at `ii` over `analysis`'s cached edge list,
+    /// computed incrementally from the previous call's II when possible.
+    /// Returns `None` when `ii` is infeasible.
+    pub fn at(&mut self, analysis: &LoopAnalysis<'_>, ii: u32) -> Option<&IncrementalStarts> {
+        let edges = analysis.dep_edges();
+        match &mut self.inner {
+            Some(s) => {
+                if !s.advance(edges, ii) {
+                    return None;
+                }
+            }
+            None => {
+                self.inner = Some(IncrementalStarts::new(
+                    analysis.ddg().num_nodes(),
+                    edges,
+                    ii,
+                )?);
+            }
+        }
+        self.inner.as_ref()
+    }
+}
+
 /// Every graph analysis of one loop body, computed at most once.
 ///
 /// Construction ([`LoopAnalysis::analyze`]) is free: every fact is
@@ -361,6 +559,7 @@ pub struct LoopAnalysis<'a> {
     csr_full: OnceLock<Csr>,
     csr_work: OnceLock<Csr>,
     rec_info: OnceLock<RecurrenceInfo>,
+    rec_groups: OnceLock<RecurrenceGroups>,
     rec_mii: OnceLock<Option<u32>>,
 }
 
@@ -377,6 +576,7 @@ impl<'a> LoopAnalysis<'a> {
             csr_full: OnceLock::new(),
             csr_work: OnceLock::new(),
             rec_info: OnceLock::new(),
+            rec_groups: OnceLock::new(),
             rec_mii: OnceLock::new(),
         }
     }
@@ -431,10 +631,43 @@ impl<'a> LoopAnalysis<'a> {
     /// The recurrence-circuit analysis (Johnson's enumeration grouped into
     /// recurrence subgraphs), reusing the cached SCCs so Tarjan is **not**
     /// re-run. Exponential in the worst case, bounded by the default
-    /// circuit budget.
+    /// circuit budget (the result is then marked truncated).
+    ///
+    /// Kept as the differential oracle and legacy fallback; the scheduling
+    /// phases read the enumeration-free
+    /// [`LoopAnalysis::recurrence_groups`] instead.
     pub fn recurrences(&self) -> &RecurrenceInfo {
         self.rec_info.get_or_init(|| {
             RecurrenceInfo::analyze_with_sccs(self.ddg, self.sccs(), DEFAULT_CIRCUIT_BUDGET)
+        })
+    }
+
+    /// The enumeration-free recurrence analysis
+    /// ([`crate::recurrence::RecurrenceGroups`]), derived from the cached
+    /// SCCs in polynomial time — never truncated, whatever the density of
+    /// the components. This is the default recurrence path of the
+    /// pre-ordering phase.
+    ///
+    /// With the `verify-recurrence` feature enabled, every analysed loop is
+    /// cross-checked against a (budgeted) circuit enumeration whenever that
+    /// enumeration completes; a divergence panics.
+    pub fn recurrence_groups(&self) -> &RecurrenceGroups {
+        self.rec_groups.get_or_init(|| {
+            let groups = RecurrenceGroups::analyze_with_sccs(self.ddg, self.sccs());
+            #[cfg(feature = "verify-recurrence")]
+            {
+                let oracle = self.recurrences();
+                if !oracle.truncated {
+                    if let Err(e) = crate::recurrence::cross_check(&groups, oracle) {
+                        panic!(
+                            "SCC-derived recurrence groups diverged from the \
+                             circuit enumeration on `{}`: {e}",
+                            self.ddg.name()
+                        );
+                    }
+                }
+            }
+            groups
         })
     }
 
@@ -570,6 +803,62 @@ mod tests {
     }
 
     #[test]
+    fn incremental_starts_match_from_scratch_passes() {
+        let g = accumulator_loop();
+        let la = LoopAnalysis::analyze(&g);
+        let n = g.num_nodes();
+        let edges = la.dep_edges();
+        let rec_mii = la.rec_mii().unwrap();
+
+        // Below the RecMII both constructions agree on infeasibility.
+        assert!(longest_paths(n, edges, rec_mii - 1).is_none());
+        assert!(IncrementalStarts::new(n, edges, rec_mii - 1).is_none());
+
+        let mut inc = IncrementalStarts::new(n, edges, rec_mii).unwrap();
+        for ii in rec_mii..rec_mii + 6 {
+            assert!(inc.advance(edges, ii), "feasible above RecMII");
+            assert_eq!(inc.ii(), ii);
+            assert_eq!(inc.earliest(), longest_paths(n, edges, ii).unwrap());
+            let horizon = inc.earliest().iter().copied().max().unwrap() + 7;
+            assert_eq!(
+                inc.latest(horizon),
+                latest_starts_from(n, edges, ii, horizon).unwrap()
+            );
+        }
+        // Retreating below the current II recomputes from scratch.
+        assert!(inc.advance(edges, rec_mii));
+        assert_eq!(inc.earliest(), longest_paths(n, edges, rec_mii).unwrap());
+
+        // A failed advance must not poison later probes: re-asking the
+        // same infeasible II keeps reporting infeasible (not stale
+        // "solved" values), and recovering to a feasible II still lands
+        // on the exact fixpoint.
+        assert!(!inc.advance(edges, rec_mii - 1));
+        assert!(
+            !inc.advance(edges, rec_mii - 1),
+            "repeat probe must fail too"
+        );
+        assert!(inc.advance(edges, rec_mii + 2));
+        assert_eq!(
+            inc.earliest(),
+            longest_paths(n, edges, rec_mii + 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn per_ii_starts_cache_is_lazy_and_consistent() {
+        let g = accumulator_loop();
+        let la = LoopAnalysis::analyze(&g);
+        let mut starts = PerIiStarts::new();
+        let rec_mii = la.rec_mii().unwrap();
+        assert!(starts.at(&la, rec_mii - 1).is_none());
+        for ii in rec_mii..rec_mii + 3 {
+            let s = starts.at(&la, ii).expect("feasible");
+            assert_eq!(s.earliest(), la.earliest_starts(ii).unwrap());
+        }
+    }
+
+    #[test]
     fn tarjan_runs_exactly_once() {
         let g = accumulator_loop();
         scc::test_counter::reset();
@@ -580,13 +869,15 @@ mod tests {
             "construction alone must not run Tarjan (everything is lazy)"
         );
         // Exercise every phase that historically re-ran Tarjan: the
-        // recurrence-circuit analysis, the backward edges, the work CSR and
+        // recurrence-circuit analysis (both the enumeration-free default
+        // and the Johnson oracle), the backward edges, the work CSR and
         // the MII computation.
+        let _ = la.recurrence_groups();
         let _ = la.recurrences();
         let _ = la.backward_edges();
         let _ = la.csr_work();
         let _ = la.rec_mii();
-        let _ = la.recurrences(); // second access hits the cache
+        let _ = la.recurrence_groups(); // second access hits the cache
         assert_eq!(
             scc::test_counter::runs(),
             1,

@@ -14,8 +14,12 @@
 //!
 //! * weakly connected components ([`Ddg::connected_components`]),
 //! * strongly connected components ([`scc`]),
+//! * enumeration-free recurrence subgraphs derived from the SCCs and their
+//!   backward-edge sets ([`recurrence`]) — the default recurrence path,
 //! * enumeration of elementary circuits and their grouping into *recurrence
-//!   subgraphs* ([`circuits`]),
+//!   subgraphs* ([`circuits`]) — kept as the differential oracle for the
+//!   SCC-derived analysis (the `verify-recurrence` feature cross-checks the
+//!   two on every analysed loop),
 //! * the `Search_All_Paths` routine of the paper ([`paths`]),
 //! * ASAP / PALA topological orders and latency-weighted levels ([`topo`]),
 //! * the shared per-loop analysis cache ([`analysis`]): one Tarjan run,
@@ -59,10 +63,13 @@ pub mod error;
 pub mod graph;
 pub mod node;
 pub mod paths;
+pub mod recurrence;
 pub mod scc;
 pub mod topo;
 
-pub use analysis::{dependence_latency, DepArc, DepEdge, LoopAnalysis, PlacementCsr};
+pub use analysis::{
+    dependence_latency, DepArc, DepEdge, IncrementalStarts, LoopAnalysis, PerIiStarts, PlacementCsr,
+};
 pub use builder::DdgBuilder;
 pub use circuits::{Circuit, RecurrenceInfo, RecurrenceSubgraph};
 pub use dense::{Csr, DenseAdjacency, NodeSet};
@@ -71,4 +78,5 @@ pub use error::DdgError;
 pub use graph::{chain, Ddg, DdgSummary, GraphView};
 pub use node::{Node, NodeId, OpKind};
 pub use paths::search_all_paths;
+pub use recurrence::{RecurrenceGroup, RecurrenceGroups};
 pub use topo::{sort_asap, sort_pala, CycleError, Direction, TopoLevels};

@@ -1,0 +1,755 @@
+//! Enumeration-free recurrence analysis: recurrence subgraphs derived
+//! directly from the strongly connected components and their backward-edge
+//! sets, in polynomial time.
+//!
+//! The pre-ordering phase of HRMS (Section 3.2 of the paper) needs the
+//! loop's recurrence circuits *grouped by their backward-edge sets* and
+//! ordered by criticality. The original reproduction obtained that grouping
+//! from Johnson's elementary-circuit enumeration ([`crate::circuits`]),
+//! which is exponential on dense SCCs — a single well-connected component
+//! with a few dozen loop-carried edges spans millions of elementary
+//! circuits, and the enumeration budget truncates the analysis exactly on
+//! the loops where modulo scheduling is hardest.
+//!
+//! This module computes the same grouping without enumerating a single
+//! circuit. The key observation: inside one SCC, every dependence edge with
+//! distance `δ > 0` is a *backward edge* (dropping them makes the component
+//! acyclic — any remaining cycle would have distance 0 and is rejected by
+//! the MII computation), so an elementary circuit that uses **exactly one**
+//! backward edge `b = (s → t)` is precisely a simple path `t ⇝ s` in the
+//! acyclic remainder plus `b` itself. In a DAG, a node `v` lies on a simple
+//! `t ⇝ s` path if and only if `t ⇝ v` and `v ⇝ s` (the two sub-paths can
+//! only meet at `v`, or the DAG would have a cycle). Therefore:
+//!
+//! * the *nodes* of the recurrence subgraph keyed by `{b}` are
+//!   `{v : t ⇝ v ⇝ s}` — one bitset intersection per node after two
+//!   linear reachability sweeps that propagate, for every node, the set of
+//!   backward edges reachable through it;
+//! * the subgraph's *RecMII* is `ceil(L / δ(b))` where `L` is the
+//!   latency-weighted longest `t ⇝ s` path — one topological DP per
+//!   backward edge, no ratio per circuit.
+//!
+//! Nodes that lie **only** on circuits threading two or more backward edges
+//! (interleaved recurrences) are not captured by any single-edge subgraph;
+//! enumerating those multi-edge groupings is where the exponential blow-up
+//! lives, so instead each SCC collects such nodes into one *residual*
+//! group whose RecMII comes from the exact Bellman-Ford bound
+//! ([`crate::analysis::exact_rec_mii`]) on the component — a sound,
+//! polynomial coarsening that keeps every recurrence node prioritised. On
+//! loop bodies whose circuits all use a single backward edge (the
+//! overwhelmingly common case — all 24 reference loops and the entire
+//! generated corpus), the grouping, per-group RecMII and simplified node
+//! lists are **identical** to the enumeration's; [`cross_check`] verifies
+//! that against a non-truncated [`RecurrenceInfo`] and backs the
+//! `verify-recurrence` CI job.
+//!
+//! Total cost for a loop with `V` nodes, `E` edges and `B` backward edges:
+//! `O(V + E)` for the collapse and the two reachability sweeps (each
+//! propagating `B`-bit sets, i.e. `O((V + E) · B / 64)` word operations)
+//! plus `O(B · (V + E))` for the per-edge longest-path DPs — polynomial by
+//! construction, with **no enumeration budget and no truncation**.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::analysis::{exact_rec_mii, DepEdge};
+use crate::circuits::RecurrenceInfo;
+use crate::edge::EdgeId;
+use crate::graph::Ddg;
+use crate::node::NodeId;
+use crate::scc;
+
+/// One recurrence subgraph: the nodes whose circuits share a backward-edge
+/// set, with the most restrictive initiation-interval bound among them.
+///
+/// The enumeration-free analogue of [`crate::RecurrenceSubgraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecurrenceGroup {
+    /// The member nodes, sorted by id.
+    pub nodes: Vec<NodeId>,
+    /// The backward-edge set keying this group. A singleton for subgraphs
+    /// derived from one backward edge; the unrealised backward edges of the
+    /// SCC for a residual group; empty for a zero-distance self-loop.
+    pub backward_edges: BTreeSet<EdgeId>,
+    /// The most restrictive `RecMII` among the group's circuits
+    /// (`u64::MAX` for zero-distance cycles, which no II satisfies).
+    pub rec_mii: u64,
+}
+
+impl RecurrenceGroup {
+    /// Whether this is a trivial group (a single self-dependent operation).
+    /// Trivial groups constrain the II but not the pre-ordering.
+    pub fn is_trivial(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+/// The complete enumeration-free recurrence analysis of a dependence graph.
+///
+/// Unlike [`RecurrenceInfo`] there is **no** `truncated` flag: construction
+/// is polynomial and always complete, whatever the density of the SCCs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecurrenceGroups {
+    /// Recurrence groups sorted by decreasing `RecMII` (most restrictive
+    /// first), ties broken by smallest member nodes then backward-edge set —
+    /// the same total order [`crate::circuits`] uses for its subgraphs.
+    pub groups: Vec<RecurrenceGroup>,
+}
+
+impl RecurrenceGroups {
+    /// Analyses `ddg`, running its own Tarjan pass. Callers holding a
+    /// [`crate::LoopAnalysis`] use its cached accessor instead so the single
+    /// per-loop Tarjan run is shared.
+    pub fn analyze(ddg: &Ddg) -> Self {
+        Self::analyze_with_sccs(ddg, &scc::strongly_connected_components(ddg))
+    }
+
+    /// Analyses `ddg` over precomputed strongly connected components.
+    pub fn analyze_with_sccs(ddg: &Ddg, sccs: &[Vec<NodeId>]) -> Self {
+        let mut groups: Vec<RecurrenceGroup> = Vec::new();
+
+        // Self-dependences are trivial single-node groups, exactly as the
+        // enumeration treats them (a zero-distance self-loop keys the empty
+        // set and admits no II).
+        for (eid, e) in ddg.edges() {
+            if e.is_self_loop() {
+                let mut backward = BTreeSet::new();
+                if e.distance() > 0 {
+                    backward.insert(eid);
+                }
+                let lat = u64::from(ddg.node(e.source()).latency());
+                groups.push(RecurrenceGroup {
+                    nodes: vec![e.source()],
+                    backward_edges: backward,
+                    rec_mii: if e.distance() > 0 {
+                        lat.div_ceil(u64::from(e.distance()))
+                    } else {
+                        u64::MAX
+                    },
+                });
+            }
+        }
+
+        let mut local_of = vec![usize::MAX; ddg.num_nodes()];
+        for component in sccs {
+            if component.len() < 2 {
+                continue;
+            }
+            analyze_component(ddg, component, &mut local_of, &mut groups);
+            for &n in component {
+                local_of[n.index()] = usize::MAX;
+            }
+        }
+
+        // Same total order as the enumerated subgraphs: most restrictive
+        // first, deterministic tie-break.
+        groups.sort_by(|a, b| {
+            b.rec_mii
+                .cmp(&a.rec_mii)
+                .then_with(|| a.nodes.cmp(&b.nodes))
+                .then_with(|| a.backward_edges.cmp(&b.backward_edges))
+        });
+        RecurrenceGroups { groups }
+    }
+
+    /// Lower bound on the initiation interval imposed by the recurrence
+    /// groups; 0 when the graph has no recurrence. Equals the enumeration's
+    /// [`RecurrenceInfo::rec_mii_lower_bound`] on single-backward-edge
+    /// loops; the exact bound for scheduling always comes from
+    /// [`crate::analysis::exact_rec_mii`].
+    pub fn rec_mii_lower_bound(&self) -> u64 {
+        self.groups.iter().map(|g| g.rec_mii).max().unwrap_or(0)
+    }
+
+    /// Whether the graph has any recurrence circuit at all.
+    pub fn has_recurrence(&self) -> bool {
+        !self.groups.is_empty()
+    }
+
+    /// The simplified per-group node lists used by the ordering phase:
+    /// groups in decreasing `RecMII` order, each node appearing only in the
+    /// first (most restrictive) group that contains it, trivial single-node
+    /// groups dropped (paper, Section 3.2). Identical semantics to
+    /// [`RecurrenceInfo::simplified_node_lists`].
+    pub fn simplified_node_lists(&self) -> Vec<Vec<NodeId>> {
+        let mut claimed = vec![false; self.node_bound()];
+        let mut lists = Vec::new();
+        for g in &self.groups {
+            if g.nodes.len() == 1 {
+                continue;
+            }
+            let fresh: Vec<NodeId> = g
+                .nodes
+                .iter()
+                .copied()
+                .filter(|n| !claimed[n.index()])
+                .collect();
+            if fresh.is_empty() {
+                continue;
+            }
+            for &n in &fresh {
+                claimed[n.index()] = true;
+            }
+            lists.push(fresh);
+        }
+        lists
+    }
+
+    fn node_bound(&self) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|g| g.nodes.iter())
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Derives the recurrence groups of one non-trivial SCC. `local_of` is a
+/// caller-provided scratch (global node id → local index), reset by the
+/// caller after use.
+fn analyze_component(
+    ddg: &Ddg,
+    component: &[NodeId],
+    local_of: &mut [usize],
+    groups: &mut Vec<RecurrenceGroup>,
+) {
+    let n = component.len();
+    for (i, &node) in component.iter().enumerate() {
+        local_of[node.index()] = i;
+    }
+
+    // Collapse parallel edges per (source, target) pair keeping the
+    // smallest distance (ties keep the first edge id) — the binding choice
+    // for RecMII, and exactly what the circuit enumeration does. The
+    // representative decides the pair's role: distance 0 → an arc of the
+    // acyclic remainder, distance > 0 → a backward edge.
+    let mut reps: BTreeMap<(usize, usize), (EdgeId, u32)> = BTreeMap::new();
+    for (eid, e) in ddg.edges() {
+        if e.is_self_loop() {
+            continue;
+        }
+        let (su, tu) = (local_of[e.source().index()], local_of[e.target().index()]);
+        if su == usize::MAX || tu == usize::MAX {
+            continue;
+        }
+        match reps.get(&(su, tu)) {
+            Some(&(_, d)) if d <= e.distance() => {}
+            _ => {
+                reps.insert((su, tu), (eid, e.distance()));
+            }
+        }
+    }
+
+    // Backward edges (local src, local dst, EdgeId, distance), in edge-id
+    // order so bit assignment and output are deterministic.
+    let mut backward: Vec<(usize, usize, EdgeId, u32)> = Vec::new();
+    let mut dag_succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut dag_preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (&(su, tu), &(eid, dist)) in &reps {
+        if dist > 0 {
+            backward.push((su, tu, eid, dist));
+        } else {
+            dag_succs[su].push(tu);
+            dag_preds[tu].push(su);
+        }
+    }
+    backward.sort_by_key(|&(_, _, eid, _)| eid);
+
+    // Topological order of the acyclic remainder. A failure means the
+    // component has a zero-distance cycle: no II is feasible, and the MII
+    // computation will reject the loop — emit one catch-all group so the
+    // pre-ordering still prioritises the component, and move on.
+    let Some(topo) = topo_order(&dag_succs, &dag_preds) else {
+        groups.push(RecurrenceGroup {
+            nodes: component.to_vec(),
+            backward_edges: backward.iter().map(|&(_, _, eid, _)| eid).collect(),
+            rec_mii: u64::MAX,
+        });
+        return;
+    };
+
+    // Two linear sweeps propagate, per node, the set of backward edges
+    // reachable through it: `fwd[v]` holds b iff dst(b) ⇝ v, `bwd[v]` holds
+    // b iff v ⇝ src(b), both over the acyclic remainder. Their
+    // intersection is exactly "v lies on a single-b circuit".
+    let words = backward.len().div_ceil(64).max(1);
+    let mut fwd = vec![0u64; n * words];
+    let mut bwd = vec![0u64; n * words];
+    for (k, &(src, dst, _, _)) in backward.iter().enumerate() {
+        fwd[dst * words + k / 64] |= 1u64 << (k % 64);
+        bwd[src * words + k / 64] |= 1u64 << (k % 64);
+    }
+    for &v in &topo {
+        for &s in &dag_succs[v] {
+            for w in 0..words {
+                let bits = fwd[v * words + w];
+                fwd[s * words + w] |= bits;
+            }
+        }
+    }
+    for &v in topo.iter().rev() {
+        for &p in &dag_preds[v] {
+            for w in 0..words {
+                let bits = bwd[v * words + w];
+                bwd[p * words + w] |= bits;
+            }
+        }
+    }
+
+    let through =
+        |v: usize, k: usize| fwd[v * words + k / 64] & bwd[v * words + k / 64] & (1u64 << (k % 64));
+
+    // One group per backward edge whose head reaches its tail in the
+    // acyclic remainder (i.e. at least one single-b circuit exists).
+    let mut covered = vec![false; n];
+    let mut lp = vec![i64::MIN; n];
+    for (k, &(src, dst, eid, dist)) in backward.iter().enumerate() {
+        if through(src, k) == 0 {
+            continue; // only closes circuits together with other backward edges
+        }
+        let mut nodes = Vec::new();
+        for (v, &node) in component.iter().enumerate() {
+            if through(v, k) != 0 {
+                covered[v] = true;
+                nodes.push(node);
+            }
+        }
+        // Latency-weighted longest dst ⇝ src path: the most restrictive
+        // circuit of this group, without a per-circuit ratio in sight.
+        lp[dst] = i64::from(ddg.node(component[dst]).latency());
+        for &v in &topo {
+            if lp[v] == i64::MIN {
+                continue;
+            }
+            for &s in &dag_succs[v] {
+                let cand = lp[v] + i64::from(ddg.node(component[s]).latency());
+                if cand > lp[s] {
+                    lp[s] = cand;
+                }
+            }
+        }
+        let longest = lp[src] as u64;
+        lp.fill(i64::MIN);
+        groups.push(RecurrenceGroup {
+            nodes,
+            backward_edges: BTreeSet::from([eid]),
+            rec_mii: longest.div_ceil(u64::from(dist)),
+        });
+    }
+
+    // Residual group: nodes that lie only on circuits threading several
+    // backward edges. Bounding those interleaved circuits exactly is where
+    // the enumeration blew up; the exact Bellman-Ford RecMII of the whole
+    // component is the sound polynomial stand-in for their priority.
+    //
+    // The group is closed under acyclic paths between its members (two
+    // boolean sweeps): every recurrence group must be *convex* in the
+    // acyclic remainder — like the single-edge groups are by construction
+    // — because the ordering phase absorbs the most restrictive group as a
+    // bare region, and a node sitting on a path between two
+    // already-ordered group members would otherwise end up squeezed
+    // between placed predecessors and successors, breaking the
+    // pre-ordering's defining invariant.
+    if covered.iter().any(|&c| !c) {
+        let mut from_left = vec![false; n];
+        let mut to_left = vec![false; n];
+        for v in 0..n {
+            if !covered[v] {
+                from_left[v] = true;
+                to_left[v] = true;
+            }
+        }
+        for &v in &topo {
+            if from_left[v] {
+                for &s in &dag_succs[v] {
+                    from_left[s] = true;
+                }
+            }
+        }
+        for &v in topo.iter().rev() {
+            if to_left[v] {
+                for &p in &dag_preds[v] {
+                    to_left[p] = true;
+                }
+            }
+        }
+        let leftover: Vec<NodeId> = component
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| from_left[v] && to_left[v])
+            .map(|(_, &node)| node)
+            .collect();
+        let realized: BTreeSet<EdgeId> = groups
+            .iter()
+            .flat_map(|g| g.backward_edges.iter().copied())
+            .collect();
+        let edges: Vec<DepEdge> = ddg
+            .edges()
+            .filter(|(_, e)| {
+                !e.is_self_loop()
+                    && local_of[e.source().index()] != usize::MAX
+                    && local_of[e.target().index()] != usize::MAX
+            })
+            .map(|(_, e)| DepEdge {
+                source: local_of[e.source().index()] as u32,
+                target: local_of[e.target().index()] as u32,
+                latency: crate::analysis::dependence_latency(ddg, e),
+                distance: e.distance(),
+            })
+            .collect();
+        let rec_mii = exact_rec_mii(n, &edges).map_or(u64::MAX, u64::from);
+        groups.push(RecurrenceGroup {
+            nodes: leftover,
+            backward_edges: backward
+                .iter()
+                .map(|&(_, _, eid, _)| eid)
+                .filter(|eid| !realized.contains(eid))
+                .collect(),
+            rec_mii,
+        });
+    }
+}
+
+/// Kahn's algorithm over local adjacency; `None` when the graph is cyclic.
+fn topo_order(succs: &[Vec<usize>], preds: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = succs.len();
+    let mut indegree: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = ready.pop() {
+        order.push(v);
+        for &s in &succs[v] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Cross-checks the enumeration-free groups against a **non-truncated**
+/// circuit enumeration of the same graph, returning a description of the
+/// first divergence.
+///
+/// The guarantee being verified: every enumerated subgraph keyed by a
+/// single backward edge has an identical group (same nodes, same key, same
+/// `RecMII`) and vice versa, and every node of a multi-backward-edge
+/// subgraph is still covered by some group of the new analysis. When the
+/// enumeration found only single-edge subgraphs — every reference and
+/// generated loop in the repository's suites — this makes the two analyses
+/// (and their simplified node lists) fully interchangeable.
+///
+/// Used by the differential test suite and, under the `verify-recurrence`
+/// feature, by [`crate::LoopAnalysis`] on every analysed loop.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first divergence found.
+pub fn cross_check(groups: &RecurrenceGroups, oracle: &RecurrenceInfo) -> Result<(), String> {
+    assert!(
+        !oracle.truncated,
+        "cross_check needs a complete enumeration"
+    );
+    let by_key: BTreeMap<&BTreeSet<EdgeId>, &RecurrenceGroup> = groups
+        .groups
+        .iter()
+        .map(|g| (&g.backward_edges, g))
+        .collect();
+
+    let mut singleton_keys: BTreeSet<&BTreeSet<EdgeId>> = BTreeSet::new();
+    for sg in &oracle.subgraphs {
+        if sg.rec_mii == u64::MAX {
+            // Zero-distance cycles: the loop is invalid and both analyses
+            // only promise to keep its nodes prioritised.
+            continue;
+        }
+        if sg.backward_edges.len() == 1 {
+            singleton_keys.insert(&sg.backward_edges);
+            let Some(g) = by_key.get(&sg.backward_edges) else {
+                return Err(format!(
+                    "enumerated subgraph {:?} has no SCC-derived group",
+                    sg.backward_edges
+                ));
+            };
+            if g.nodes != sg.nodes {
+                return Err(format!(
+                    "subgraph {:?}: nodes diverge ({:?} vs {:?})",
+                    sg.backward_edges, g.nodes, sg.nodes
+                ));
+            }
+            if g.rec_mii != sg.rec_mii {
+                return Err(format!(
+                    "subgraph {:?}: RecMII diverges ({} vs {})",
+                    sg.backward_edges, g.rec_mii, sg.rec_mii
+                ));
+            }
+        } else {
+            // Multi-edge subgraph: every node must still be covered.
+            for &node in &sg.nodes {
+                if !groups.groups.iter().any(|g| g.nodes.contains(&node)) {
+                    return Err(format!(
+                        "node {node} of multi-edge subgraph {:?} is uncovered",
+                        sg.backward_edges
+                    ));
+                }
+            }
+        }
+    }
+
+    // No spurious single-edge groups either: each must exist in the oracle.
+    for g in &groups.groups {
+        if g.backward_edges.len() == 1
+            && g.rec_mii != u64::MAX
+            && !singleton_keys.contains(&g.backward_edges)
+        {
+            return Err(format!(
+                "SCC-derived group {:?} has no enumerated counterpart",
+                g.backward_edges
+            ));
+        }
+    }
+
+    // When the enumeration itself only found single-edge subgraphs, the two
+    // analyses must agree completely — including the ordering phase's view.
+    let all_singletons = oracle
+        .subgraphs
+        .iter()
+        .all(|sg| sg.backward_edges.len() == 1 && sg.rec_mii != u64::MAX);
+    if all_singletons {
+        if groups.groups.len() != oracle.subgraphs.len() {
+            return Err(format!(
+                "group count diverges ({} vs {} subgraphs)",
+                groups.groups.len(),
+                oracle.subgraphs.len()
+            ));
+        }
+        if groups.simplified_node_lists() != oracle.simplified_node_lists() {
+            return Err("simplified node lists diverge".to_string());
+        }
+        if groups.rec_mii_lower_bound() != oracle.rec_mii_lower_bound() {
+            return Err(format!(
+                "RecMII lower bound diverges ({} vs {})",
+                groups.rec_mii_lower_bound(),
+                oracle.rec_mii_lower_bound()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DdgBuilder, DepKind, OpKind};
+
+    fn check_against_enumeration(ddg: &Ddg) -> RecurrenceGroups {
+        let groups = RecurrenceGroups::analyze(ddg);
+        let oracle = RecurrenceInfo::analyze_with_budget(ddg, usize::MAX);
+        cross_check(&groups, &oracle).unwrap_or_else(|e| panic!("`{}`: {e}", ddg.name()));
+        groups
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_groups() {
+        let g = crate::graph::chain("c", 6, OpKind::FpAdd, 1);
+        let groups = check_against_enumeration(&g);
+        assert!(!groups.has_recurrence());
+        assert_eq!(groups.rec_mii_lower_bound(), 0);
+        assert!(groups.simplified_node_lists().is_empty());
+    }
+
+    #[test]
+    fn figure8b_single_backward_edge_is_one_group() {
+        // Paper Figure 8b: two circuits {A,D,E} and {A,B,C,E} sharing the
+        // single backward edge E -> A form one subgraph {A,B,C,D,E}.
+        let mut bld = DdgBuilder::new("fig8b");
+        let a = bld.node("A", OpKind::FpAdd, 1);
+        let b = bld.node("B", OpKind::FpAdd, 1);
+        let c = bld.node("C", OpKind::FpAdd, 1);
+        let d = bld.node("D", OpKind::FpAdd, 1);
+        let e = bld.node("E", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, c, DepKind::RegFlow, 0).unwrap();
+        bld.edge(c, e, DepKind::RegFlow, 0).unwrap();
+        bld.edge(a, d, DepKind::RegFlow, 0).unwrap();
+        bld.edge(d, e, DepKind::RegFlow, 0).unwrap();
+        bld.edge(e, a, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let groups = check_against_enumeration(&g);
+        assert_eq!(groups.groups.len(), 1);
+        assert_eq!(groups.groups[0].nodes, vec![a, b, c, d, e]);
+        assert_eq!(groups.groups[0].rec_mii, 4, "longest circuit A,B,C,E");
+    }
+
+    #[test]
+    fn figure8c_distinct_backward_edges_stay_separate() {
+        let mut bld = DdgBuilder::new("fig8c");
+        let a = bld.node("A", OpKind::FpAdd, 2);
+        let b = bld.node("B", OpKind::FpAdd, 1);
+        let c = bld.node("C", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 1).unwrap();
+        bld.edge(b, c, DepKind::RegFlow, 0).unwrap();
+        bld.edge(c, b, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let groups = check_against_enumeration(&g);
+        assert_eq!(groups.groups.len(), 2);
+        assert_eq!(groups.groups[0].rec_mii, 3);
+        assert_eq!(groups.groups[0].nodes, vec![a, b]);
+        assert_eq!(groups.groups[1].rec_mii, 2);
+        assert_eq!(groups.groups[1].nodes, vec![b, c]);
+        let lists = groups.simplified_node_lists();
+        assert_eq!(lists, vec![vec![a, b], vec![c]]);
+    }
+
+    #[test]
+    fn self_loops_are_trivial_groups() {
+        let mut bld = DdgBuilder::new("s");
+        let a = bld.node("a", OpKind::FpAdd, 3);
+        bld.edge(a, a, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let groups = check_against_enumeration(&g);
+        assert_eq!(groups.groups.len(), 1);
+        assert!(groups.groups[0].is_trivial());
+        assert_eq!(groups.groups[0].rec_mii, 3);
+        assert!(groups.simplified_node_lists().is_empty());
+    }
+
+    #[test]
+    fn distance_greater_than_one_divides_the_bound() {
+        let mut bld = DdgBuilder::new("dist2");
+        let a = bld.node("a", OpKind::FpDiv, 17);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 2).unwrap();
+        let g = bld.build().unwrap();
+        let groups = check_against_enumeration(&g);
+        assert_eq!(groups.rec_mii_lower_bound(), 9, "ceil(18 / 2)");
+    }
+
+    #[test]
+    fn parallel_backward_edges_collapse_to_the_binding_distance() {
+        let mut bld = DdgBuilder::new("par");
+        let a = bld.node("a", OpKind::FpAdd, 2);
+        let b = bld.node("b", OpKind::FpAdd, 2);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 3).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 1).unwrap(); // binding
+        let g = bld.build().unwrap();
+        let groups = check_against_enumeration(&g);
+        assert_eq!(groups.groups.len(), 1, "parallel edges collapse");
+        assert_eq!(groups.groups[0].rec_mii, 4);
+    }
+
+    #[test]
+    fn interleaved_recurrences_keep_every_node_covered() {
+        // Two two-node recurrences bridged only by loop-carried edges: the
+        // bridging circuit threads two backward edges, which the
+        // enumeration reports as a separate multi-edge subgraph. The
+        // SCC-derived groups must still cover all four nodes.
+        let mut bld = DdgBuilder::new("interleave");
+        let r0 = bld.node("r0", OpKind::FpAdd, 1);
+        let r1 = bld.node("r1", OpKind::FpAdd, 1);
+        let s0 = bld.node("s0", OpKind::FpAdd, 1);
+        let s1 = bld.node("s1", OpKind::FpAdd, 1);
+        bld.edge(r0, r1, DepKind::RegFlow, 0).unwrap();
+        bld.edge(r1, r0, DepKind::RegFlow, 1).unwrap();
+        bld.edge(s0, s1, DepKind::RegFlow, 0).unwrap();
+        bld.edge(s1, s0, DepKind::RegFlow, 1).unwrap();
+        bld.edge(r1, s0, DepKind::RegFlow, 1).unwrap();
+        bld.edge(s1, r0, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let groups = check_against_enumeration(&g);
+        assert_eq!(groups.groups.len(), 2, "two single-edge groups");
+        assert_eq!(
+            groups.simplified_node_lists(),
+            vec![vec![r0, r1], vec![s0, s1]]
+        );
+    }
+
+    #[test]
+    fn bridge_only_nodes_land_in_a_residual_group() {
+        // a → b ⇢ m → c → d ⇢ a: the circuit threads both backward edges
+        // (b → m and d → a) and `m` lies on no single-edge circuit.
+        let mut bld = DdgBuilder::new("bridge");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        let m = bld.node("m", OpKind::FpAdd, 1);
+        let c = bld.node("c", OpKind::FpAdd, 1);
+        let d = bld.node("d", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, m, DepKind::RegFlow, 1).unwrap();
+        bld.edge(m, c, DepKind::RegFlow, 0).unwrap();
+        bld.edge(c, d, DepKind::RegFlow, 0).unwrap();
+        bld.edge(d, a, DepKind::RegFlow, 1).unwrap();
+        let g = bld.build().unwrap();
+        let groups = RecurrenceGroups::analyze(&g);
+        assert_eq!(groups.groups.len(), 1, "one residual group");
+        assert_eq!(groups.groups[0].nodes, vec![a, b, m, c, d]);
+        assert_eq!(groups.groups[0].backward_edges.len(), 2);
+        // Exact Bellman-Ford bound: 5 unit-latency ops over distance 2.
+        assert_eq!(groups.groups[0].rec_mii, 3);
+        let oracle = RecurrenceInfo::analyze_with_budget(&g, usize::MAX);
+        cross_check(&groups, &oracle).unwrap();
+    }
+
+    #[test]
+    fn zero_distance_cycle_yields_a_catch_all_group() {
+        let mut bld = DdgBuilder::new("bad");
+        let a = bld.node("a", OpKind::FpAdd, 1);
+        let b = bld.node("b", OpKind::FpAdd, 1);
+        bld.edge(a, b, DepKind::RegFlow, 0).unwrap();
+        bld.edge(b, a, DepKind::RegFlow, 0).unwrap();
+        let g = bld.build().unwrap();
+        let groups = RecurrenceGroups::analyze(&g);
+        assert_eq!(groups.groups.len(), 1);
+        assert_eq!(groups.rec_mii_lower_bound(), u64::MAX);
+        assert_eq!(groups.groups[0].nodes, vec![a, b]);
+    }
+
+    #[test]
+    fn dense_scc_is_analysed_without_any_budget() {
+        // The shape that made Johnson's enumeration explode: a complete
+        // digraph on 10 nodes has ~1.1M elementary circuits, yet the
+        // SCC-derived analysis is linear in edges and fully covers it.
+        let mut bld = DdgBuilder::new("dense");
+        let ids: Vec<NodeId> = (0..10)
+            .map(|i| bld.node(format!("n{i}"), OpKind::FpAdd, 1))
+            .collect();
+        for &u in &ids {
+            for &v in &ids {
+                if u != v {
+                    bld.edge(u, v, DepKind::RegFlow, 1).unwrap();
+                }
+            }
+        }
+        let g = bld.build().unwrap();
+        let groups = RecurrenceGroups::analyze(&g);
+        assert!(groups.has_recurrence());
+        // Every edge has distance > 0, so the acyclic remainder is empty
+        // and no single-edge circuit exists: one residual group covers all.
+        assert_eq!(groups.groups.len(), 1);
+        assert_eq!(groups.groups[0].nodes.len(), 10);
+        // Exact bound: every k-cycle carries latency k over distance k.
+        assert_eq!(groups.groups[0].rec_mii, 1);
+    }
+
+    #[test]
+    fn groups_are_deterministic() {
+        let mut bld = DdgBuilder::new("det");
+        let ids: Vec<NodeId> = (0..12)
+            .map(|i| bld.node(format!("n{i}"), OpKind::FpAdd, 1 + (i % 3) as u32))
+            .collect();
+        for i in 0..11 {
+            bld.edge(ids[i], ids[i + 1], DepKind::RegFlow, 0).unwrap();
+        }
+        for (s, t, d) in [(5, 1, 1), (8, 4, 2), (10, 0, 1), (7, 6, 1)] {
+            bld.edge(ids[s], ids[t], DepKind::RegFlow, d).unwrap();
+        }
+        let g = bld.build().unwrap();
+        let a = check_against_enumeration(&g);
+        let b = RecurrenceGroups::analyze(&g);
+        assert_eq!(a, b);
+    }
+}

@@ -114,6 +114,10 @@ pub fn pre_order_legacy_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrderin
         order,
         components: num_components,
         recurrence_subgraphs,
+        // The legacy path is the only one that can truncate: Johnson's
+        // enumeration is budgeted, and a hit budget means the recurrence
+        // priority above was computed from a circuit subset.
+        truncated: rec_info.truncated,
     }
 }
 

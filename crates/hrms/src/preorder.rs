@@ -71,6 +71,12 @@ pub struct PreOrdering {
     pub components: usize,
     /// Number of (non-trivial) recurrence subgraphs handled with priority.
     pub recurrence_subgraphs: usize,
+    /// Whether the recurrence analysis behind this ordering was truncated
+    /// (its enumeration budget was hit), degrading the recurrence priority.
+    /// Always `false` on the default path — the SCC-derived analysis is
+    /// polynomial and complete by construction; only the preserved legacy
+    /// path (Johnson's enumeration) can report `true`.
+    pub truncated: bool,
 }
 
 /// Pre-orders the nodes of `ddg` with the default options.
@@ -98,7 +104,11 @@ pub fn pre_order_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
 /// cached in) `la`, so the pre-ordering itself is pure index manipulation.
 pub fn pre_order_with_analysis(la: &LoopAnalysis<'_>, options: &PreOrderOptions) -> PreOrdering {
     let ddg = la.ddg();
-    let rec_info = la.recurrences();
+    // The enumeration-free recurrence analysis: polynomial in the graph
+    // size whatever the density of the SCCs, never truncated. (The legacy
+    // path keeps Johnson's enumeration; the differential suites pin the two
+    // producing identical orderings wherever the enumeration completes.)
+    let rec_info = la.recurrence_groups();
     let simplified = rec_info.simplified_node_lists();
     let bound = ddg.num_nodes();
 
@@ -115,7 +125,7 @@ pub fn pre_order_with_analysis(la: &LoopAnalysis<'_>, options: &PreOrderOptions)
         .map(|comp| {
             let members = NodeSet::from_indices(bound, comp.iter().map(|n| n.index()));
             rec_info
-                .subgraphs
+                .groups
                 .iter()
                 .filter(|sg| sg.nodes.iter().all(|n| members.contains(n.index())))
                 .map(|sg| sg.rec_mii)
@@ -210,18 +220,33 @@ pub fn pre_order_with_analysis(la: &LoopAnalysis<'_>, options: &PreOrderOptions)
         order,
         components: num_components,
         recurrence_subgraphs,
+        truncated: false,
     };
 
     // With the `verify-dense` feature on (CI runs the whole suite with it),
     // every ordering is cross-checked against the preserved legacy
-    // implementation in debug builds.
+    // implementation in debug builds. The legacy path still derives its
+    // recurrence subgraphs from Johnson's enumeration, so this doubles as
+    // an end-to-end check of the SCC-derived analysis — byte-equality is
+    // asserted exactly in the regime where the two recurrence analyses are
+    // provably identical: the enumeration completed and found only
+    // single-backward-edge subgraphs (a truncated enumeration orders from
+    // a circuit subset, and interleaved multi-edge recurrences are
+    // deliberately coarsened by the SCC-derived residual groups).
     #[cfg(feature = "verify-dense")]
-    debug_assert_eq!(
-        result,
-        crate::legacy::pre_order_legacy_with(ddg, options),
-        "dense pre-ordering diverged from the legacy implementation on `{}`",
-        ddg.name()
-    );
+    {
+        let oracle = la.recurrences();
+        if !oracle.truncated && oracle.all_single_backward_edge() {
+            let legacy = crate::legacy::pre_order_legacy_with(ddg, options);
+            debug_assert!(
+                result.order == legacy.order
+                    && result.components == legacy.components
+                    && result.recurrence_subgraphs == legacy.recurrence_subgraphs,
+                "dense pre-ordering diverged from the legacy implementation on `{}`",
+                ddg.name()
+            );
+        }
+    }
 
     result
 }

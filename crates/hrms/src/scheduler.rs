@@ -99,12 +99,17 @@ impl HrmsScheduler {
         pre_order_with(ddg, &self.options.preorder)
     }
 
-    fn node_order(&self, la: &LoopAnalysis<'_>) -> Vec<NodeId> {
+    /// The node order for the scheduling step, plus whether the recurrence
+    /// analysis behind it was truncated (never on the default path — the
+    /// SCC-derived analysis has no enumeration budget; see
+    /// [`PreOrdering::truncated`]).
+    fn node_order(&self, la: &LoopAnalysis<'_>) -> (Vec<NodeId>, bool) {
         match self.options.ordering {
             OrderingMode::HypernodeReduction => {
-                pre_order_with_analysis(la, &self.options.preorder).order
+                let p = pre_order_with_analysis(la, &self.options.preorder);
+                (p.order, p.truncated)
             }
-            OrderingMode::ProgramOrder => la.ddg().node_ids().collect(),
+            OrderingMode::ProgramOrder => (la.ddg().node_ids().collect(), false),
         }
     }
 }
@@ -126,7 +131,7 @@ impl ModuloScheduler for HrmsScheduler {
         let mii = MiiInfo::compute_with(ddg, machine, &analysis)?;
 
         let order_start = Instant::now();
-        let order = self.node_order(&analysis);
+        let (order, recurrence_truncated) = self.node_order(&analysis);
         let ordering_time = order_start.elapsed();
 
         let max_ii = self.options.config.effective_max_ii(ddg, mii.mii());
@@ -156,7 +161,8 @@ impl ModuloScheduler for HrmsScheduler {
                     attempts,
                     start.elapsed(),
                     ordering_time,
-                ));
+                )
+                .with_recurrence_truncated(recurrence_truncated));
             }
             let fallback =
                 fallback_order.get_or_insert_with(|| earliest_start_order(&analysis, mii.mii()));
@@ -170,7 +176,8 @@ impl ModuloScheduler for HrmsScheduler {
                     attempts,
                     start.elapsed(),
                     ordering_time,
-                ));
+                )
+                .with_recurrence_truncated(recurrence_truncated));
             }
             if ii >= max_ii {
                 return Err(SchedError::NoValidSchedule { max_ii_tried: ii });

