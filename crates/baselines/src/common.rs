@@ -141,6 +141,22 @@ where
     let start = Instant::now();
     let analysis = LoopAnalysis::analyze(ddg);
     let mii = MiiInfo::compute_with(ddg, machine, &analysis)?;
+    // Under the verify-recurrence feature, every loop the escalation
+    // driver schedules also cross-checks the cycle-ratio analysis against
+    // the exact scheduling RecMII: the paper-metric per-node maximum
+    // (operation-latency sums) can never undershoot the
+    // dependence-latency bound the MII is built from, and the two agree
+    // exactly on flow-only recurrences.
+    #[cfg(feature = "verify-recurrence")]
+    {
+        let bound = analysis.cycle_ratios().rec_mii_lower_bound();
+        let exact = analysis.rec_mii().map_or(u64::MAX, u64::from);
+        assert!(
+            bound >= exact,
+            "`{}`: cycle-ratio bound {bound} undershoots the exact RecMII {exact}",
+            ddg.name()
+        );
+    }
     let max_ii = config.effective_max_ii(ddg, mii.mii());
     if max_ii < mii.mii() {
         return Err(SchedError::NoValidSchedule {

@@ -12,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hrms_core::pre_order;
-use hrms_ddg::{IncrementalStarts, LoopAnalysis, RecurrenceGroups, RecurrenceInfo};
+use hrms_ddg::{CycleRatios, IncrementalStarts, LoopAnalysis, RecurrenceGroups, RecurrenceInfo};
 use hrms_workloads::synthetic;
 
 fn bench_recurrence_analysis(c: &mut Criterion) {
@@ -22,6 +22,11 @@ fn bench_recurrence_analysis(c: &mut Criterion) {
         let ops = ddg.num_nodes();
         group.bench_with_input(BenchmarkId::new("scc_groups", ops), &ddg, |b, ddg| {
             b.iter(|| RecurrenceGroups::analyze(std::hint::black_box(ddg)))
+        });
+        // The per-node cycle-ratio pass alone (the groups above are
+        // assembled from it, so this isolates the new analysis cost).
+        group.bench_with_input(BenchmarkId::new("cycle_ratios", ops), &ddg, |b, ddg| {
+            b.iter(|| CycleRatios::analyze(std::hint::black_box(ddg)))
         });
         // The old default path on the same loop. The budget caps the
         // enumeration at 10k circuits — these loops span astronomically
@@ -35,6 +40,26 @@ fn bench_recurrence_analysis(c: &mut Criterion) {
                 b.iter(|| RecurrenceInfo::analyze_with_budget(std::hint::black_box(ddg), 10_000))
             },
         );
+    }
+    group.finish();
+}
+
+fn bench_interleaved_suite(c: &mut Criterion) {
+    // The interleaved-recurrence differential corpus: small loops whose
+    // circuits thread backward-edge *pairs*. Measures the exact
+    // cycle-ratio ranking against the complete enumeration on the same
+    // loops (both are fast here — the point is the per-loop margin and a
+    // CI smoke-check that the exact path stays cheap on its own corpus).
+    let mut group = c.benchmark_group("interleaved_recurrence");
+    group.sample_size(10);
+    for ddg in synthetic::interleaved_recurrence_suite() {
+        let ops = ddg.num_nodes();
+        group.bench_with_input(BenchmarkId::new("cycle_ratios", ops), &ddg, |b, ddg| {
+            b.iter(|| CycleRatios::analyze(std::hint::black_box(ddg)))
+        });
+        group.bench_with_input(BenchmarkId::new("johnson_complete", ops), &ddg, |b, ddg| {
+            b.iter(|| RecurrenceInfo::analyze_with_budget(std::hint::black_box(ddg), 500_000))
+        });
     }
     group.finish();
 }
@@ -94,6 +119,7 @@ fn bench_incremental_starts(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_recurrence_analysis,
+    bench_interleaved_suite,
     bench_recurrence_heavy_preorder,
     bench_incremental_starts
 );

@@ -36,6 +36,7 @@ use std::collections::HashSet;
 use std::sync::{Arc, OnceLock};
 
 use crate::circuits::{RecurrenceInfo, DEFAULT_CIRCUIT_BUDGET};
+use crate::cycle_ratio::CycleRatios;
 use crate::dense::Csr;
 use crate::edge::{DepKind, Edge, EdgeId};
 use crate::graph::Ddg;
@@ -559,6 +560,7 @@ pub struct LoopAnalysis<'a> {
     csr_full: OnceLock<Csr>,
     csr_work: OnceLock<Csr>,
     rec_info: OnceLock<RecurrenceInfo>,
+    ratios: OnceLock<CycleRatios>,
     rec_groups: OnceLock<RecurrenceGroups>,
     rec_mii: OnceLock<Option<u32>>,
 }
@@ -576,6 +578,7 @@ impl<'a> LoopAnalysis<'a> {
             csr_full: OnceLock::new(),
             csr_work: OnceLock::new(),
             rec_info: OnceLock::new(),
+            ratios: OnceLock::new(),
             rec_groups: OnceLock::new(),
             rec_mii: OnceLock::new(),
         }
@@ -642,28 +645,60 @@ impl<'a> LoopAnalysis<'a> {
         })
     }
 
+    /// The per-node maximum cycle-ratio analysis
+    /// ([`crate::cycle_ratio::CycleRatios`]): for every node, the exact
+    /// `RecMII` of the most critical recurrence circuit through it,
+    /// derived from the cached SCCs in polynomial time. Feeds
+    /// [`LoopAnalysis::recurrence_groups`] and the pre-ordering's
+    /// per-node criticality.
+    pub fn cycle_ratios(&self) -> &CycleRatios {
+        self.ratios
+            .get_or_init(|| CycleRatios::analyze_with_sccs(self.ddg, self.sccs()))
+    }
+
     /// The enumeration-free recurrence analysis
-    /// ([`crate::recurrence::RecurrenceGroups`]), derived from the cached
-    /// SCCs in polynomial time — never truncated, whatever the density of
-    /// the components. This is the default recurrence path of the
+    /// ([`crate::recurrence::RecurrenceGroups`]), assembled from the
+    /// cached cycle-ratio analysis — never truncated, whatever the density
+    /// of the components. This is the default recurrence path of the
     /// pre-ordering phase.
     ///
     /// With the `verify-recurrence` feature enabled, every analysed loop is
     /// cross-checked against a (budgeted) circuit enumeration whenever that
-    /// enumeration completes; a divergence panics.
+    /// enumeration completes; a hard divergence panics and any multi-edge
+    /// coarsening is counted and logged
+    /// ([`crate::recurrence::coarsening`]).
     pub fn recurrence_groups(&self) -> &RecurrenceGroups {
         self.rec_groups.get_or_init(|| {
-            let groups = RecurrenceGroups::analyze_with_sccs(self.ddg, self.sccs());
+            let groups = RecurrenceGroups::from_cycle_ratios(self.ddg, self.cycle_ratios());
             #[cfg(feature = "verify-recurrence")]
             {
                 let oracle = self.recurrences();
                 if !oracle.truncated {
-                    if let Err(e) = crate::recurrence::cross_check(&groups, oracle) {
-                        panic!(
+                    match crate::recurrence::cross_check(&groups, oracle) {
+                        Err(e) => panic!(
                             "SCC-derived recurrence groups diverged from the \
                              circuit enumeration on `{}`: {e}",
                             self.ddg.name()
-                        );
+                        ),
+                        Ok(report) => {
+                            crate::recurrence::coarsening::record(report.is_exact());
+                            if !report.is_exact() {
+                                // The ≥3-backward-edge fallback is the only
+                                // documented source of inexactness; anything
+                                // else diverging is a bug, not coarsening.
+                                assert!(
+                                    report.deep_subgraphs > 0,
+                                    "SCC-derived recurrence groups diverged from the \
+                                     circuit enumeration on `{}` without any \
+                                     deep (≥3-edge) subgraph to excuse it: {report:?}",
+                                    self.ddg.name()
+                                );
+                                eprintln!(
+                                    "verify-recurrence: `{}` coarsened: {report:?}",
+                                    self.ddg.name()
+                                );
+                            }
+                        }
                     }
                 }
             }

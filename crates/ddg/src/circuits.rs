@@ -136,19 +136,6 @@ impl RecurrenceInfo {
         !self.circuits.is_empty()
     }
 
-    /// Whether every recurrence subgraph is keyed by exactly one backward
-    /// edge and has a finite `RecMII` — i.e. the loop has no *interleaved*
-    /// recurrences (circuits threading several backward edges) and no
-    /// zero-distance cycle. In this regime — the overwhelmingly common one;
-    /// see the differential suites — the enumeration-free
-    /// [`crate::recurrence::RecurrenceGroups`] is provably identical to
-    /// this analysis, subgraph for subgraph.
-    pub fn all_single_backward_edge(&self) -> bool {
-        self.subgraphs
-            .iter()
-            .all(|sg| sg.backward_edges.len() == 1 && sg.rec_mii != u64::MAX)
-    }
-
     /// The simplified per-subgraph node lists used by the ordering phase:
     /// subgraphs in decreasing `RecMII` order, each node appearing only in
     /// the first (most restrictive) subgraph that contains it, and subgraphs

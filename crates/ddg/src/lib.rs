@@ -16,6 +16,9 @@
 //! * strongly connected components ([`scc`]),
 //! * enumeration-free recurrence subgraphs derived from the SCCs and their
 //!   backward-edge sets ([`recurrence`]) — the default recurrence path,
+//! * the exact per-node maximum cycle-ratio analysis ([`cycle_ratio`]):
+//!   for every node, the `RecMII` of the most critical recurrence circuit
+//!   through it, which ranks interleaved recurrences exactly,
 //! * enumeration of elementary circuits and their grouping into *recurrence
 //!   subgraphs* ([`circuits`]) — kept as the differential oracle for the
 //!   SCC-derived analysis (the `verify-recurrence` feature cross-checks the
@@ -56,6 +59,7 @@
 pub mod analysis;
 pub mod builder;
 pub mod circuits;
+pub mod cycle_ratio;
 pub mod dense;
 pub mod dot;
 pub mod edge;
@@ -72,11 +76,12 @@ pub use analysis::{
 };
 pub use builder::DdgBuilder;
 pub use circuits::{Circuit, RecurrenceInfo, RecurrenceSubgraph};
+pub use cycle_ratio::CycleRatios;
 pub use dense::{Csr, DenseAdjacency, NodeSet};
 pub use edge::{DepKind, Edge, EdgeId};
 pub use error::DdgError;
 pub use graph::{chain, Ddg, DdgSummary, GraphView};
 pub use node::{Node, NodeId, OpKind};
 pub use paths::search_all_paths;
-pub use recurrence::{RecurrenceGroup, RecurrenceGroups};
+pub use recurrence::{CrossCheckReport, RecurrenceGroup, RecurrenceGroupKind, RecurrenceGroups};
 pub use topo::{sort_asap, sort_pala, CycleError, Direction, TopoLevels};

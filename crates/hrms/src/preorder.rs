@@ -77,6 +77,13 @@ pub struct PreOrdering {
     /// polynomial and complete by construction; only the preserved legacy
     /// path (Johnson's enumeration) can report `true`.
     pub truncated: bool,
+    /// Per-node recurrence criticality, indexed by [`NodeId`]: the exact
+    /// `RecMII` of the most critical recurrence circuit through each node
+    /// (`0` for nodes on no recurrence), from
+    /// [`hrms_ddg::CycleRatios`]. The ordering seeds each component from
+    /// the most critical recurrence group; this surfaces the per-node
+    /// bound behind that priority to schedulers and harnesses.
+    pub node_criticality: Vec<u64>,
 }
 
 /// Pre-orders the nodes of `ddg` with the default options.
@@ -221,6 +228,7 @@ pub fn pre_order_with_analysis(la: &LoopAnalysis<'_>, options: &PreOrderOptions)
         components: num_components,
         recurrence_subgraphs,
         truncated: false,
+        node_criticality: la.cycle_ratios().per_node().to_vec(),
     };
 
     // With the `verify-dense` feature on (CI runs the whole suite with it),
@@ -228,20 +236,21 @@ pub fn pre_order_with_analysis(la: &LoopAnalysis<'_>, options: &PreOrderOptions)
     // implementation in debug builds. The legacy path still derives its
     // recurrence subgraphs from Johnson's enumeration, so this doubles as
     // an end-to-end check of the SCC-derived analysis — byte-equality is
-    // asserted exactly in the regime where the two recurrence analyses are
-    // provably identical: the enumeration completed and found only
-    // single-backward-edge subgraphs (a truncated enumeration orders from
-    // a circuit subset, and interleaved multi-edge recurrences are
-    // deliberately coarsened by the SCC-derived residual groups).
+    // asserted whenever the enumeration completed and the recurrence
+    // cross-check reports the two analyses exactly interchangeable (since
+    // the cycle-ratio pair ranking, that is every reference and generated
+    // corpus loop, interleaved recurrences included; a truncated
+    // enumeration orders from a circuit subset and proves nothing).
     #[cfg(feature = "verify-dense")]
     {
         let oracle = la.recurrences();
-        if !oracle.truncated && oracle.all_single_backward_edge() {
+        if !oracle.truncated
+            && hrms_ddg::recurrence::cross_check(rec_info, oracle)
+                .is_ok_and(|report| report.is_exact())
+        {
             let legacy = crate::legacy::pre_order_legacy_with(ddg, options);
             debug_assert!(
-                result.order == legacy.order
-                    && result.components == legacy.components
-                    && result.recurrence_subgraphs == legacy.recurrence_subgraphs,
+                result == legacy,
                 "dense pre-ordering diverged from the legacy implementation on `{}`",
                 ddg.name()
             );

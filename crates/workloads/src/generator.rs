@@ -87,6 +87,18 @@ pub struct GeneratorConfig {
     /// interleaved SCCs of the recurrence-heavy stress preset, the regime
     /// where circuit enumeration explodes.
     pub extra_backward_edges: usize,
+    /// Pairs of loop-carried edges wired so that they close a recurrence
+    /// circuit only **together**: inside a dedicated program-order window,
+    /// a < m < b < n are scaffolded with forward edges a → m and b → n and
+    /// closed with the loop-carried pair m ⇢ b and n ⇢ a. Every forward
+    /// dependence increases the program-order index, so m ⇢ b can never
+    /// close through the acyclic remainder alone — the circuit a ⇝ m ⇢ b
+    /// ⇝ n ⇢ a provably threads *both* edges, the interleaved
+    /// multi-backward-edge regime that single-edge recurrence analyses
+    /// cannot rank. Each pair lives in its own window, so circuits cannot
+    /// chain across pairs either. Zero (the default) adds no random
+    /// draws, preserving the classic random stream.
+    pub interleaved_recurrences: usize,
     /// Maximum dependence distance of loop-carried edges.
     pub max_distance: u32,
     /// Maximum number of loop-invariant values.
@@ -119,6 +131,7 @@ impl Default for GeneratorConfig {
             mix: OpMix::default(),
             recurrence_probability: 0.45,
             extra_backward_edges: 0,
+            interleaved_recurrences: 0,
             max_distance: 3,
             max_invariants: 6,
             iteration_range: (10, 20_000),
@@ -317,6 +330,46 @@ impl LoopGenerator {
                     b.edge(ids[from], ids[to], DepKind::RegFlow, distance)
                         .expect("indices are in range");
                 }
+            }
+        }
+
+        // Interleaved-recurrence extension (see the config field docs):
+        // one a < m < b < n gadget per disjoint program-order window, each
+        // scaffolded with forward edges a → m and b → n and closed with
+        // the loop-carried pair m ⇢ b and n ⇢ a, so the circuit
+        // a ⇝ m ⇢ b ⇝ n ⇢ a provably threads both backward edges and no
+        // circuit can chain across windows. Guarded so the zero default
+        // adds no random draws and the classic suites stay byte-identical.
+        if let Some(window) = size.checked_div(cfg.interleaved_recurrences) {
+            for w in 0..cfg.interleaved_recurrences {
+                let (lo, hi) = (w * window, (w + 1) * window);
+                if hi - lo < 4 {
+                    break;
+                }
+                let a = lo + rng.gen_range(0..hi - lo - 3);
+                let m = a + 1 + rng.gen_range(0..hi - a - 3);
+                let mid = m + 1 + rng.gen_range(0..hi - m - 2);
+                let n = mid + 1 + rng.gen_range(0..hi - mid - 1);
+                let d1 = rng.gen_range(1..=cfg.max_distance.max(1));
+                let d2 = rng.gen_range(1..=cfg.max_distance.max(1));
+                // Register flow where the source produces a value, memory
+                // ordering otherwise (stores) — identical latency
+                // semantics, and both legal on any operation kind.
+                let kind_for = |i: usize| {
+                    if kinds[i].defines_value() {
+                        DepKind::RegFlow
+                    } else {
+                        DepKind::Memory
+                    }
+                };
+                b.edge(ids[a], ids[m], kind_for(a), 0)
+                    .expect("indices are in range");
+                b.edge(ids[mid], ids[n], kind_for(mid), 0)
+                    .expect("indices are in range");
+                b.edge(ids[m], ids[mid], kind_for(m), d1)
+                    .expect("indices are in range");
+                b.edge(ids[n], ids[a], kind_for(n), d2)
+                    .expect("indices are in range");
             }
         }
 

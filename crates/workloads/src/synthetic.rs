@@ -125,6 +125,76 @@ pub fn recurrence_heavy_suite() -> Vec<Ddg> {
         .collect()
 }
 
+/// Loop sizes of the interleaved-recurrence suite (operations per loop).
+///
+/// Sized so Johnson's enumeration still completes on every loop: the suite
+/// is the differential corpus pinning the cycle-ratio ranking of
+/// multi-backward-edge recurrences against the enumeration oracle, so the
+/// oracle must be computable.
+pub const INTERLEAVED_SIZES: [usize; 6] = [12, 18, 24, 30, 40, 48];
+
+/// Generator preset for one *interleaved-recurrence* loop of exactly
+/// `size` operations: wires loop-carried edge pairs that close circuits
+/// only **together** ([`GeneratorConfig::interleaved_recurrences`]) — the
+/// multi-backward-edge regime where a single-edge recurrence analysis
+/// must fall back to coarse per-SCC ranking and the per-node cycle-ratio
+/// analysis (`hrms_ddg::cycle_ratio`) ranks exactly.
+///
+/// Ordinary probabilistic recurrences are disabled: an organic backward
+/// edge could chain gadget windows into circuits threading three or more
+/// backward edges, and this preset is the differential corpus whose
+/// multi-edge subgraphs must stay in the provably-exact two-edge regime
+/// (deeper interleavings are exercised — and counted — by the unit suites
+/// and the moderately dense shapes instead).
+pub fn interleaved_recurrence_config(size: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        min_ops: size,
+        mean_ops: size as f64,
+        max_ops: size,
+        recurrence_probability: 0.0,
+        interleaved_recurrences: 1 + size / 16,
+        max_distance: 2,
+        max_invariants: 6,
+        iteration_range: (10, 50_000),
+        ..GeneratorConfig::default()
+    }
+}
+
+/// The deterministic interleaved-recurrence suite: one loop per entry of
+/// [`INTERLEAVED_SIZES`], each a pure function of the fixed seed and
+/// **guaranteed** to contain a recurrence circuit threading several
+/// backward edges (the generator wires the pairs structurally; the first
+/// generated loop of each size that realises one is taken, so the suite
+/// never silently degenerates to single-edge shapes).
+pub fn interleaved_recurrence_suite() -> Vec<Ddg> {
+    INTERLEAVED_SIZES
+        .iter()
+        .map(|&size| {
+            let mut generator = LoopGenerator::new(
+                DEFAULT_SEED ^ 0x17_EA0000 ^ size as u64,
+                interleaved_recurrence_config(size),
+            );
+            for _ in 0..64 {
+                let g = generator.next_loop();
+                let interleaved = hrms_ddg::RecurrenceGroups::analyze(&g)
+                    .groups
+                    .iter()
+                    .any(|gr| {
+                        matches!(
+                            gr.kind,
+                            hrms_ddg::RecurrenceGroupKind::Interleaved
+                                | hrms_ddg::RecurrenceGroupKind::Residual
+                        )
+                    });
+                if interleaved {
+                    return g;
+                }
+            }
+            unreachable!("the interleaved gadget closes a pair circuit within 64 loops")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +265,45 @@ mod tests {
             // Valid loop bodies: a finite recurrence-constrained MII exists.
             assert!(hrms_ddg::LoopAnalysis::analyze(g).rec_mii().is_some());
         }
+    }
+
+    #[test]
+    fn interleaved_suite_is_deterministic_and_forces_multi_edge_circuits() {
+        let suite = interleaved_recurrence_suite();
+        assert_eq!(suite, interleaved_recurrence_suite());
+        assert_eq!(suite.len(), INTERLEAVED_SIZES.len());
+        for (g, &size) in suite.iter().zip(INTERLEAVED_SIZES.iter()) {
+            assert_eq!(g.num_nodes(), size);
+            // The defining property: at least one recurrence circuit
+            // threads several backward edges, i.e. the recurrence analysis
+            // needs more than single-edge subgraphs to cover the loop.
+            let groups = hrms_ddg::RecurrenceGroups::analyze(g);
+            assert!(
+                groups.groups.iter().any(|gr| matches!(
+                    gr.kind,
+                    hrms_ddg::RecurrenceGroupKind::Interleaved
+                        | hrms_ddg::RecurrenceGroupKind::Residual
+                )),
+                "`{}` has no interleaved recurrence",
+                g.name()
+            );
+            // Valid loop bodies: a finite recurrence-constrained MII exists.
+            assert!(hrms_ddg::LoopAnalysis::analyze(g).rec_mii().is_some());
+        }
+    }
+
+    #[test]
+    fn interleaved_knob_zero_preserves_the_classic_random_stream() {
+        let classic = LoopGenerator::new(77, GeneratorConfig::default()).generate(10);
+        let zeroed = LoopGenerator::new(
+            77,
+            GeneratorConfig {
+                interleaved_recurrences: 0,
+                ..GeneratorConfig::default()
+            },
+        )
+        .generate(10);
+        assert_eq!(classic, zeroed);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 
 use std::collections::HashSet;
 
-use hrms_repro::ddg::{Ddg, DdgBuilder, NodeId, RecurrenceInfo};
+use hrms_repro::ddg::recurrence::cross_check;
+use hrms_repro::ddg::{Ddg, DdgBuilder, LoopAnalysis, NodeId, RecurrenceInfo};
 use hrms_repro::hrms::preorder::backward_edges;
 use hrms_repro::hrms::{
     pre_order_legacy_with, pre_order_with, PreOrderOptions, PreOrdering, StartNodePolicy,
@@ -19,12 +20,19 @@ use hrms_repro::hrms::{
 use hrms_repro::workloads::{reference24, synthetic, GeneratorConfig, LoopGenerator};
 
 /// Whether Johnson's enumeration of `g` completes within the default
-/// budget and finds only single-backward-edge subgraphs — the regime where
-/// the dense path's SCC-derived recurrence analysis is provably identical
-/// to the enumeration, so the two pre-orderings must be byte-identical.
-fn is_single_backward_edge_regime(g: &Ddg) -> bool {
+/// budget and the recurrence cross-check reports the SCC-derived groups
+/// exactly interchangeable with it — the regime where the two
+/// pre-orderings must be byte-identical. Since the cycle-ratio analysis
+/// ranks interleaved two-backward-edge recurrences exactly, this covers
+/// the *entire* reference and generated corpus (the old gate excluded
+/// multi-backward-edge loops as a documented exception).
+fn is_provably_identical_regime(g: &Ddg) -> bool {
     let info = RecurrenceInfo::analyze(g);
-    !info.truncated && info.all_single_backward_edge()
+    if info.truncated {
+        return false;
+    }
+    let la = LoopAnalysis::analyze(g);
+    cross_check(la.recurrence_groups(), &info).is_ok_and(|report| report.is_exact())
 }
 
 /// Builds a deterministic generator loop.
@@ -63,15 +71,15 @@ fn merged(a: &Ddg, b: &Ddg) -> Ddg {
 
 /// Runs both pre-ordering paths on `g` and checks every promoted property.
 ///
-/// Byte-equality between the dense path (SCC-derived recurrence groups)
-/// and the legacy path (Johnson's circuit enumeration) is asserted exactly
-/// in the regime where the two recurrence analyses are provably identical:
-/// the enumeration completed and found only single-backward-edge
-/// subgraphs. Loops with *interleaved* recurrences (circuits threading
-/// several backward edges — `is_single_backward_edge_regime` reports the
-/// split, and the suites below pin how rare they are) are deliberately
-/// coarsened by the new analysis and only have to satisfy the ordering
-/// invariants.
+/// Byte-equality between the dense path (cycle-ratio-ranked recurrence
+/// groups) and the legacy path (Johnson's circuit enumeration) is asserted
+/// in the regime where the recurrence cross-check proves the two analyses
+/// interchangeable: the enumeration completed and reported zero
+/// coarsening. With the exact interleaved-pair ranking that is every
+/// reference and generated corpus loop — including the multi-backward-edge
+/// ones the old single-edge gate had to carve out; only circuits threading
+/// three or more backward edges (absent from these corpora, counted by the
+/// differential suite) fall back to invariants-only checking.
 fn check(g: &Ddg, options: &PreOrderOptions) -> PreOrdering {
     check_counting_comparisons(g, options).0
 }
@@ -81,7 +89,7 @@ fn check(g: &Ddg, options: &PreOrderOptions) -> PreOrdering {
 /// re-running the circuit enumeration).
 fn check_counting_comparisons(g: &Ddg, options: &PreOrderOptions) -> (PreOrdering, bool) {
     let dense = pre_order_with(g, options);
-    let compared = is_single_backward_edge_regime(g);
+    let compared = is_provably_identical_regime(g);
     if compared {
         let legacy = pre_order_legacy_with(g, options);
         assert_eq!(
@@ -223,13 +231,31 @@ fn two_hundred_generated_loops_hold_the_invariants_on_both_paths() {
         }
     }
     assert!(checked >= 200, "the suite must cover at least 200 loops");
-    // The byte-equality comparison only applies outside the interleaved-
-    // recurrence coarsening; make sure it keeps covering essentially the
-    // whole corpus (at the time of writing: 199 of 200 loops).
-    assert!(
-        compared >= checked * 95 / 100,
-        "only {compared}/{checked} loops compared dense vs legacy byte-identically"
+    // With the exact interleaved-pair ranking there is no coarsening
+    // carve-out left: every loop of the corpus — including the
+    // multi-backward-edge one that used to be the documented exception —
+    // must compare dense vs legacy byte-identically.
+    assert_eq!(
+        compared, checked,
+        "every corpus loop must compare dense vs legacy byte-identically"
     );
+}
+
+#[test]
+fn interleaved_recurrence_suite_is_identical_on_both_paths() {
+    // Loops built to contain circuits that thread *two* backward edges:
+    // exactly the regime the old analysis coarsened into per-SCC residual
+    // groups. The cycle-ratio ranking must make the dense path
+    // byte-identical to Johnson's ordering on every one of them.
+    for g in synthetic::interleaved_recurrence_suite() {
+        let (p, compared) = check_counting_comparisons(&g, &PreOrderOptions::default());
+        assert!(
+            compared,
+            "`{}`: the interleaved loop must be in the provably-identical regime",
+            g.name()
+        );
+        assert!(p.recurrence_subgraphs > 0, "`{}`", g.name());
+    }
 }
 
 #[test]
