@@ -1,8 +1,21 @@
-//! Graphviz (DOT) export of dependence graphs.
+//! Graphviz (DOT) export and import of dependence graphs.
+//!
+//! Export ([`to_dot`]) renders a graph for visualisation; with the default
+//! options it additionally embeds the full structure in `hrms_*` attributes
+//! so the importer ([`from_dot`]) can rebuild a
+//! [`crate::fingerprint::ddg_fingerprint`]-identical graph. The importer
+//! also accepts plain third-party DOT digraphs (nodes default to latency-1
+//! general operations, edges to intra-iteration flow dependences), which is
+//! how external/real loops enter the `hrms` CLI. The format contract is
+//! specified in `docs/FORMATS.md`.
 
 use std::fmt::Write as _;
 
+use crate::builder::DdgBuilder;
+use crate::edge::DepKind;
 use crate::graph::Ddg;
+use crate::node::{NodeId, OpKind};
+use crate::textfmt::ParseError;
 
 /// Options controlling [`to_dot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +27,10 @@ pub struct DotOptions {
     pub show_all_distances: bool,
     /// Render loop-carried edges dashed.
     pub dash_loop_carried: bool,
+    /// Embed the full graph structure in `hrms_*` attributes so the export
+    /// re-imports losslessly through [`from_dot`]. Rendering tools ignore
+    /// the extra attributes. Disable only for minimal presentation output.
+    pub embed_metadata: bool,
 }
 
 impl Default for DotOptions {
@@ -22,6 +39,7 @@ impl Default for DotOptions {
             show_latency: true,
             show_all_distances: false,
             dash_loop_carried: true,
+            embed_metadata: true,
         }
     }
 }
@@ -29,12 +47,22 @@ impl Default for DotOptions {
 /// Renders the graph in Graphviz DOT syntax (digraph).
 ///
 /// The output is deterministic (nodes in id order, edges in insertion order)
-/// so it can be snapshot-tested.
+/// so it can be snapshot-tested, and with
+/// [`DotOptions::embed_metadata`] (the default) it round-trips losslessly
+/// through [`from_dot`].
 pub fn to_dot(ddg: &Ddg, options: &DotOptions) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", escape(ddg.name()));
     let _ = writeln!(out, "  rankdir=TB;");
     let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    if options.embed_metadata {
+        let _ = writeln!(
+            out,
+            "  graph [hrms_invariants={}, hrms_iterations={}];",
+            ddg.num_invariants(),
+            ddg.iteration_count()
+        );
+    }
     for (id, node) in ddg.nodes() {
         let label = if options.show_latency {
             format!(
@@ -46,7 +74,19 @@ pub fn to_dot(ddg: &Ddg, options: &DotOptions) -> String {
         } else {
             escape(node.name()).to_string()
         };
-        let _ = writeln!(out, "  {} [label=\"{}\"];", id, label);
+        let mut attrs = vec![format!("label=\"{label}\"")];
+        if options.embed_metadata {
+            attrs.push(format!("hrms_name=\"{}\"", escape(node.name())));
+            attrs.push(format!("hrms_kind={}", node.kind().mnemonic()));
+            attrs.push(format!("hrms_latency={}", node.latency()));
+            if !node.defines_value() && node.kind().defines_value() {
+                attrs.push("hrms_no_result=true".to_string());
+            }
+            if node.invariant_uses() > 0 {
+                attrs.push(format!("hrms_invariant_uses={}", node.invariant_uses()));
+            }
+        }
+        let _ = writeln!(out, "  {} [{}];", id, attrs.join(", "));
     }
     for (_, e) in ddg.edges() {
         let mut attrs: Vec<String> = Vec::new();
@@ -57,6 +97,10 @@ pub fn to_dot(ddg: &Ddg, options: &DotOptions) -> String {
         }
         if options.dash_loop_carried && e.is_loop_carried() {
             attrs.push("style=dashed".to_string());
+        }
+        if options.embed_metadata {
+            attrs.push(format!("hrms_kind={}", e.kind().label()));
+            attrs.push(format!("hrms_distance={}", e.distance()));
         }
         let _ = writeln!(
             out,
@@ -75,13 +119,561 @@ pub fn to_dot_default(ddg: &Ddg) -> String {
     to_dot(ddg, &DotOptions::default())
 }
 
+/// Escapes a string for inclusion in a double-quoted DOT attribute value.
+///
+/// Backslashes are escaped **before** quotes (the pre-fix exporter only
+/// escaped quotes, so a name ending in `\` produced `\"` — an escaped quote
+/// — and the output failed to re-parse). Newlines and tabs become `\n` /
+/// `\t`, which [`from_dot`] folds back.
 fn escape(s: &str) -> String {
-    s.replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Import
+// ---------------------------------------------------------------------------
+
+/// One token of a DOT input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// Bare identifier or number.
+    Id(String),
+    /// Double-quoted string (unescaped).
+    Str(String),
+    /// `{`, `}`, `[`, `]`, `=`, `;`, `,`
+    Punct(char),
+    /// `->`
+    Arrow,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Id(s) => format!("`{s}`"),
+            Tok::Str(s) => format!("\"{s}\""),
+            Tok::Punct(c) => format!("`{c}`"),
+            Tok::Arrow => "`->`".to_string(),
+        }
+    }
+
+    /// The textual value of an identifier or string token.
+    fn value(&self) -> Option<&str> {
+        match self {
+            Tok::Id(s) | Tok::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes the supported DOT subset, tracking line numbers.
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Shell-style comment (also covers C preprocessor lines).
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        while let Some(&c) = chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            chars.next();
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        loop {
+                            match chars.next() {
+                                None => {
+                                    return Err(ParseError::new(line, "unterminated /* comment"))
+                                }
+                                Some('\n') => {
+                                    line += 1;
+                                    prev = '\n';
+                                }
+                                Some('/') if prev == '*' => break,
+                                Some(c) => prev = c,
+                            }
+                        }
+                    }
+                    _ => return Err(ParseError::new(line, "unexpected `/`")),
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err(ParseError::new(line, "unterminated string")),
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            // DOT treats unknown escapes literally; keep
+                            // both characters so foreign labels survive.
+                            Some(other) => {
+                                s.push('\\');
+                                s.push(other);
+                            }
+                            None => return Err(ParseError::new(line, "unterminated string")),
+                        },
+                        Some('\n') => {
+                            line += 1;
+                            s.push('\n');
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                toks.push((Tok::Str(s), line));
+            }
+            '{' | '}' | '[' | ']' | '=' | ';' | ',' => {
+                chars.next();
+                toks.push((Tok::Punct(c), line));
+            }
+            '-' => {
+                chars.next();
+                match chars.next() {
+                    Some('>') => toks.push((Tok::Arrow, line)),
+                    Some('-') => {
+                        return Err(ParseError::new(
+                            line,
+                            "undirected edges (`--`) are not dependence edges; use a digraph",
+                        ))
+                    }
+                    _ => return Err(ParseError::new(line, "unexpected `-`")),
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Id(s), line));
+            }
+            other => {
+                return Err(ParseError::new(
+                    line,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Key/value attribute list parsed from `[...]`.
+type Attrs = Vec<(String, String)>;
+
+fn find_attr<'a>(attrs: &'a Attrs, key: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Cursor over the token stream.
+struct Cursor {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |&(_, l)| l)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            Some(other) => Err(ParseError::new(
+                line,
+                format!("expected `{c}`, found {}", other.describe()),
+            )),
+            None => Err(ParseError::new(
+                line,
+                format!("expected `{c}`, found end of input"),
+            )),
+        }
+    }
+
+    /// Parses an optional `[k=v, ...]` attribute list (possibly repeated,
+    /// as DOT allows `[a=1][b=2]`).
+    fn attrs(&mut self) -> Result<Attrs, ParseError> {
+        let mut attrs = Vec::new();
+        while self.eat_punct('[') {
+            loop {
+                if self.eat_punct(']') {
+                    break;
+                }
+                let line = self.line();
+                let key = match self.next() {
+                    Some(t) => t
+                        .value()
+                        .map(str::to_string)
+                        .ok_or_else(|| ParseError::new(line, "expected an attribute name"))?,
+                    None => return Err(ParseError::new(line, "unterminated attribute list")),
+                };
+                self.expect_punct('=')?;
+                let line = self.line();
+                let value = match self.next() {
+                    Some(t) => t
+                        .value()
+                        .map(str::to_string)
+                        .ok_or_else(|| ParseError::new(line, "expected an attribute value"))?,
+                    None => return Err(ParseError::new(line, "unterminated attribute list")),
+                };
+                attrs.push((key, value));
+                // Separators between attributes are optional in DOT.
+                let _ = self.eat_punct(',') || self.eat_punct(';');
+            }
+        }
+        Ok(attrs)
+    }
+}
+
+/// Pending node data gathered during the parse.
+struct PendingNode {
+    name: String,
+    kind: OpKind,
+    latency: u32,
+    no_result: bool,
+    invariant_uses: u32,
+}
+
+/// Parses the node-defining attributes (falling back to the label when the
+/// `hrms_*` metadata is absent).
+fn node_from_attrs(dot_id: &str, attrs: &Attrs, line: usize) -> Result<PendingNode, ParseError> {
+    let label = find_attr(attrs, "label");
+    // `label="name\nkind λ=N"` — the exporter's presentational encoding.
+    let (label_name, label_kind, label_latency) = match label {
+        Some(l) => {
+            let mut parts = l.splitn(2, '\n');
+            let name = parts.next().unwrap_or("");
+            let mut kind = None;
+            let mut latency = None;
+            if let Some(rest) = parts.next() {
+                for word in rest.split_whitespace() {
+                    if let Some(v) = word.strip_prefix("λ=") {
+                        latency = v.parse::<u32>().ok();
+                    } else if kind.is_none() {
+                        kind = OpKind::from_mnemonic(word);
+                    }
+                }
+            }
+            (
+                if name.is_empty() {
+                    None
+                } else {
+                    Some(name.to_string())
+                },
+                kind,
+                latency,
+            )
+        }
+        None => (None, None, None),
+    };
+    let name = find_attr(attrs, "hrms_name")
+        .map(str::to_string)
+        .or(label_name)
+        .unwrap_or_else(|| dot_id.to_string());
+    let kind = match find_attr(attrs, "hrms_kind") {
+        Some(k) => OpKind::from_mnemonic(k)
+            .ok_or_else(|| ParseError::new(line, format!("unknown operation kind `{k}`")))?,
+        None => label_kind.unwrap_or(OpKind::Other),
+    };
+    let latency = match find_attr(attrs, "hrms_latency") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError::new(line, format!("invalid hrms_latency `{v}`")))?,
+        None => label_latency.unwrap_or(1),
+    };
+    let no_result = find_attr(attrs, "hrms_no_result") == Some("true");
+    let invariant_uses = match find_attr(attrs, "hrms_invariant_uses") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError::new(line, format!("invalid hrms_invariant_uses `{v}`")))?,
+        None => 0,
+    };
+    Ok(PendingNode {
+        name,
+        kind,
+        latency,
+        no_result,
+        invariant_uses,
+    })
+}
+
+/// Parses a DOT digraph into a dependence graph.
+///
+/// Accepts the output of [`to_dot`] (lossless with the default options:
+/// re-importing yields a fingerprint-identical graph) and a pragmatic
+/// subset of general DOT: `digraph` with node statements, edge statements,
+/// attribute lists, default `graph`/`node`/`edge` attribute statements
+/// (ignored except for `hrms_*` graph metadata) and comments. Nodes that
+/// first appear inside an edge statement are created with defaults
+/// ([`OpKind::Other`], latency 1), so plain `a -> b; b -> c;` graphs import
+/// as schedulable loops.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a 1-based line number on lexical or
+/// syntactic errors, unsupported constructs (`graph`/`subgraph`, `--`
+/// edges), invalid `hrms_*` metadata, or when the resulting graph fails
+/// [`DdgBuilder::build`] validation.
+pub fn from_dot(input: &str) -> Result<Ddg, ParseError> {
+    let mut cur = Cursor {
+        toks: lex(input)?,
+        pos: 0,
+    };
+
+    // Header: [strict] digraph [name] {
+    let line = cur.line();
+    match cur.next() {
+        Some(Tok::Id(id)) if id == "strict" => match cur.next() {
+            Some(Tok::Id(id)) if id == "digraph" => {}
+            _ => return Err(ParseError::new(line, "expected `digraph`")),
+        },
+        Some(Tok::Id(id)) if id == "digraph" => {}
+        Some(Tok::Id(id)) if id == "graph" => {
+            return Err(ParseError::new(
+                line,
+                "undirected `graph` inputs are not dependence graphs; use `digraph`",
+            ))
+        }
+        other => {
+            return Err(ParseError::new(
+                line,
+                format!(
+                    "expected `digraph`, found {}",
+                    other.map_or("end of input".to_string(), |t| t.describe())
+                ),
+            ))
+        }
+    }
+    let name = match cur.peek() {
+        Some(Tok::Punct('{')) => "imported".to_string(),
+        _ => {
+            let line = cur.line();
+            cur.next()
+                .and_then(|t| t.value().map(str::to_string))
+                .ok_or_else(|| ParseError::new(line, "expected a graph name or `{`"))?
+        }
+    };
+    cur.expect_punct('{')?;
+
+    let mut nodes: Vec<PendingNode> = Vec::new();
+    let mut ids: Vec<(String, usize)> = Vec::new(); // dot id -> node index
+    let mut edges: Vec<(usize, usize, DepKind, u32)> = Vec::new();
+    let mut invariants: Option<u32> = None;
+    let mut iterations: Option<u64> = None;
+
+    // Creates-or-finds the node for a DOT id referenced by an edge.
+    fn intern(ids: &mut Vec<(String, usize)>, nodes: &mut Vec<PendingNode>, id: &str) -> usize {
+        if let Some(&(_, i)) = ids.iter().find(|(n, _)| n == id) {
+            return i;
+        }
+        let i = nodes.len();
+        nodes.push(PendingNode {
+            name: id.to_string(),
+            kind: OpKind::Other,
+            latency: 1,
+            no_result: false,
+            invariant_uses: 0,
+        });
+        ids.push((id.to_string(), i));
+        i
+    }
+
+    loop {
+        let line = cur.line();
+        let tok = cur
+            .next()
+            .ok_or_else(|| ParseError::new(line, "unterminated digraph (missing `}`)"))?;
+        match tok {
+            Tok::Punct('}') => break,
+            Tok::Punct(';') => continue,
+            Tok::Id(ref id) if id == "subgraph" => {
+                return Err(ParseError::new(line, "subgraphs are not supported"));
+            }
+            Tok::Id(ref id)
+                if (id == "graph" || id == "node" || id == "edge")
+                    && cur.peek() == Some(&Tok::Punct('[')) =>
+            {
+                let attrs = cur.attrs()?;
+                if id == "graph" {
+                    if let Some(v) = find_attr(&attrs, "hrms_invariants") {
+                        invariants = Some(v.parse().map_err(|_| {
+                            ParseError::new(line, format!("invalid hrms_invariants `{v}`"))
+                        })?);
+                    }
+                    if let Some(v) = find_attr(&attrs, "hrms_iterations") {
+                        iterations = Some(v.parse().map_err(|_| {
+                            ParseError::new(line, format!("invalid hrms_iterations `{v}`"))
+                        })?);
+                    }
+                }
+                // Other default attributes (shape, fontname, ...) are
+                // presentational; ignore them.
+            }
+            Tok::Id(_) | Tok::Str(_) => {
+                let dot_id = tok.value().expect("id or string").to_string();
+                if cur.eat_punct('=') {
+                    // Top-level `key=value;` graph attribute (rankdir=TB).
+                    let line = cur.line();
+                    cur.next()
+                        .and_then(|t| t.value().map(str::to_string))
+                        .ok_or_else(|| ParseError::new(line, "expected an attribute value"))?;
+                    continue;
+                }
+                if cur.peek() == Some(&Tok::Arrow) {
+                    // Edge statement (possibly a chain a -> b -> c).
+                    let mut chain = vec![intern(&mut ids, &mut nodes, &dot_id)];
+                    while cur.peek() == Some(&Tok::Arrow) {
+                        cur.next();
+                        let line = cur.line();
+                        let target = cur
+                            .next()
+                            .and_then(|t| t.value().map(str::to_string))
+                            .ok_or_else(|| ParseError::new(line, "expected an edge target"))?;
+                        chain.push(intern(&mut ids, &mut nodes, &target));
+                    }
+                    let attrs = cur.attrs()?;
+                    let kind = match find_attr(&attrs, "hrms_kind") {
+                        Some(k) => DepKind::from_label(k).ok_or_else(|| {
+                            ParseError::new(line, format!("unknown dependence kind `{k}`"))
+                        })?,
+                        None => find_attr(&attrs, "label")
+                            .and_then(|l| l.split_whitespace().next().and_then(DepKind::from_label))
+                            .unwrap_or(DepKind::RegFlow),
+                    };
+                    let distance = match find_attr(&attrs, "hrms_distance") {
+                        Some(v) => v.parse().map_err(|_| {
+                            ParseError::new(line, format!("invalid hrms_distance `{v}`"))
+                        })?,
+                        None => find_attr(&attrs, "label")
+                            .and_then(|l| {
+                                l.split_whitespace()
+                                    .find_map(|w| w.strip_prefix("δ="))
+                                    .and_then(|v| v.parse().ok())
+                            })
+                            .unwrap_or(0),
+                    };
+                    for pair in chain.windows(2) {
+                        edges.push((pair[0], pair[1], kind, distance));
+                    }
+                } else {
+                    // Node statement.
+                    let attrs = cur.attrs()?;
+                    let pending = node_from_attrs(&dot_id, &attrs, line)?;
+                    let idx = intern(&mut ids, &mut nodes, &dot_id);
+                    nodes[idx] = pending;
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    line,
+                    format!("unexpected {}", other.describe()),
+                ));
+            }
+        }
+    }
+    if let Some(tok) = cur.next() {
+        return Err(ParseError::new(
+            cur.line(),
+            format!("trailing {} after closing `}}`", tok.describe()),
+        ));
+    }
+
+    let mut b = DdgBuilder::new(name);
+    let mut node_ids: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    for n in &nodes {
+        let id = if n.no_result {
+            b.node_no_result(n.name.clone(), n.kind, n.latency)
+        } else {
+            b.node(n.name.clone(), n.kind, n.latency)
+        };
+        if n.invariant_uses > 0 {
+            b.node_invariant_uses(id, n.invariant_uses);
+        }
+        node_ids.push(id);
+    }
+    for &(s, t, kind, dist) in &edges {
+        b.edge(node_ids[s], node_ids[t], kind, dist)
+            .map_err(|e| ParseError::new(0, format!("invalid edge: {e}")))?;
+    }
+    if let Some(inv) = invariants {
+        b.invariants(inv);
+    }
+    if let Some(it) = iterations {
+        b.iteration_count(it);
+    }
+    b.build()
+        .map_err(|e| ParseError::new(0, format!("invalid graph: {e}")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fingerprint::ddg_fingerprint;
     use crate::{DdgBuilder, DepKind, OpKind};
 
     fn tiny() -> Ddg {
@@ -121,6 +713,21 @@ mod tests {
     }
 
     #[test]
+    fn backslashes_are_escaped_before_quotes() {
+        // The pre-fix exporter turned a trailing `\` into `\"` (an escaped
+        // quote), producing unparseable DOT.
+        let mut b = DdgBuilder::new("ends with backslash \\");
+        b.node("weird\\name", OpKind::FpAdd, 1);
+        let g = b.build().unwrap();
+        let dot = to_dot_default(&g);
+        assert!(dot.contains("ends with backslash \\\\"));
+        assert!(dot.contains("weird\\\\name"));
+        let back = from_dot(&dot).unwrap();
+        assert_eq!(back.name(), "ends with backslash \\");
+        assert_eq!(back.node(NodeId(0)).name(), "weird\\name");
+    }
+
+    #[test]
     fn options_toggle_latency_display() {
         let g = tiny();
         let dot = to_dot(
@@ -129,16 +736,118 @@ mod tests {
                 show_latency: false,
                 show_all_distances: true,
                 dash_loop_carried: false,
+                embed_metadata: false,
             },
         );
         assert!(!dot.contains("λ="));
         assert!(dot.contains("δ=0"));
         assert!(!dot.contains("dashed"));
+        assert!(!dot.contains("hrms_"));
     }
 
     #[test]
     fn output_is_deterministic() {
         let g = tiny();
         assert_eq!(to_dot_default(&g), to_dot_default(&g));
+    }
+
+    #[test]
+    fn default_export_reimports_fingerprint_identical() {
+        let mut b = DdgBuilder::new("full house");
+        let a = b.node("ld", OpKind::Load, 2);
+        let c = b.node("acc", OpKind::FpAdd, 1);
+        let s = b.node("st", OpKind::Store, 1);
+        let n = b.node_no_result("cmp", OpKind::IntAlu, 1);
+        b.node_invariant_uses(c, 2);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(c, c, DepKind::RegFlow, 1).unwrap();
+        b.edge(c, s, DepKind::RegFlow, 0).unwrap();
+        b.edge(s, a, DepKind::Memory, 2).unwrap();
+        b.edge(n, s, DepKind::Control, 0).unwrap();
+        b.invariants(3).iteration_count(777);
+        let g = b.build().unwrap();
+
+        let back = from_dot(&to_dot_default(&g)).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(ddg_fingerprint(&back), ddg_fingerprint(&g));
+    }
+
+    #[test]
+    fn label_fallback_reconstructs_kind_latency_and_distance() {
+        // embed_metadata off, but labels carry kind/latency/distance.
+        let g = tiny();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                show_latency: true,
+                show_all_distances: true,
+                dash_loop_carried: true,
+                embed_metadata: false,
+            },
+        );
+        let back = from_dot(&dot).unwrap();
+        assert_eq!(back.node(NodeId(0)).kind(), OpKind::Load);
+        assert_eq!(back.node(NodeId(0)).latency(), 2);
+        assert_eq!(back.node(NodeId(0)).name(), "a");
+        let (_, e) = back.edges().nth(1).unwrap();
+        assert_eq!(e.distance(), 1);
+        assert_eq!(e.kind(), DepKind::RegFlow);
+    }
+
+    #[test]
+    fn plain_third_party_digraphs_import_with_defaults() {
+        let dot = "digraph { a -> b -> c; b -> d [label=\"x\"]; }";
+        let g = from_dot(dot).unwrap();
+        assert_eq!(g.name(), "imported");
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.node(NodeId(0)).name(), "a");
+        assert_eq!(g.node(NodeId(0)).kind(), OpKind::Other);
+        assert_eq!(g.node(NodeId(0)).latency(), 1);
+        let (_, e) = g.edges().next().unwrap();
+        assert_eq!(e.kind(), DepKind::RegFlow);
+        assert_eq!(e.distance(), 0);
+    }
+
+    #[test]
+    fn comments_and_strict_are_accepted() {
+        let dot = "// C++ comment\nstrict digraph g { /* block\ncomment */ a; # shell\n a -> a [hrms_distance=1]; }";
+        let g = from_dot(dot).unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        let (_, e) = g.edges().next().unwrap();
+        assert!(e.is_self_loop());
+        assert_eq!(e.distance(), 1);
+    }
+
+    #[test]
+    fn import_errors_are_descriptive() {
+        for (input, needle) in [
+            ("graph g { a -- b; }", "digraph"),
+            ("digraph g { a -- b; }", "undirected"),
+            ("digraph g { subgraph s { a; } }", "subgraph"),
+            ("digraph g { a -> ; }", "edge target"),
+            ("digraph g { a [hrms_kind=zzz]; }", "operation kind"),
+            ("digraph g { a [hrms_latency=xx]; }", "hrms_latency"),
+            ("digraph g { a ", "missing `}`"),
+            ("digraph g { }", "no operations"),
+            ("not dot at all", "digraph"),
+        ] {
+            let err = from_dot(input).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{input:?}: expected {needle:?} in `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_metadata_round_trips() {
+        let mut b = DdgBuilder::new("meta");
+        b.node("x", OpKind::FpMul, 2);
+        b.invariants(4).iteration_count(9999);
+        let g = b.build().unwrap();
+        let back = from_dot(&to_dot_default(&g)).unwrap();
+        assert_eq!(back.num_invariants(), 4);
+        assert_eq!(back.iteration_count(), 9999);
     }
 }

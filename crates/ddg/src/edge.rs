@@ -72,6 +72,13 @@ impl DepKind {
         }
     }
 
+    /// Parses a label produced by [`DepKind::label`] back into the kind.
+    /// This is the inverse used by the on-disk loop formats
+    /// (`docs/FORMATS.md`).
+    pub fn from_label(s: &str) -> Option<DepKind> {
+        DepKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
     /// All dependence kinds in a fixed order.
     pub const ALL: [DepKind; 5] = [
         DepKind::RegFlow,

@@ -64,11 +64,13 @@ pub mod dense;
 pub mod dot;
 pub mod edge;
 pub mod error;
+pub mod fingerprint;
 pub mod graph;
 pub mod node;
 pub mod paths;
 pub mod recurrence;
 pub mod scc;
+pub mod textfmt;
 pub mod topo;
 
 pub use analysis::{
@@ -80,8 +82,10 @@ pub use cycle_ratio::CycleRatios;
 pub use dense::{Csr, DenseAdjacency, NodeSet};
 pub use edge::{DepKind, Edge, EdgeId};
 pub use error::DdgError;
+pub use fingerprint::{cache_key, ddg_fingerprint, format_digest, Fnv64};
 pub use graph::{chain, Ddg, DdgSummary, GraphView};
 pub use node::{Node, NodeId, OpKind};
 pub use paths::search_all_paths;
 pub use recurrence::{CrossCheckReport, RecurrenceGroup, RecurrenceGroupKind, RecurrenceGroups};
+pub use textfmt::{parse_loop, parse_loops, write_loop, write_loops, ParseError};
 pub use topo::{sort_asap, sort_pala, CycleError, Direction, TopoLevels};

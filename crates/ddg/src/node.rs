@@ -97,6 +97,13 @@ impl OpKind {
         }
     }
 
+    /// Parses a mnemonic produced by [`OpKind::mnemonic`] back into the
+    /// kind. This is the inverse used by the on-disk loop and machine
+    /// formats (`docs/FORMATS.md`).
+    pub fn from_mnemonic(s: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.mnemonic() == s)
+    }
+
     /// All operation kinds, in a fixed order (useful for iteration in
     /// machine descriptions and statistics).
     pub const ALL: [OpKind; 9] = [

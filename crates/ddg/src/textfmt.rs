@@ -1,0 +1,587 @@
+//! The `.loop` text format: a hand-written, dependency-free codec for
+//! dependence graphs.
+//!
+//! This is the primary on-disk loop format of the `hrms` CLI (the DOT
+//! importer in [`crate::dot`] is the secondary one). It is line-oriented and
+//! diff-friendly; the full specification with a worked example lives in
+//! `docs/FORMATS.md`. In short:
+//!
+//! ```text
+//! # comments run to end of line
+//! loop "dot product"
+//!   iterations 1000
+//!   invariants 0
+//!   node load_a load latency=2
+//!   node load_b load latency=2
+//!   node mul fmul latency=2
+//!   node acc fadd latency=1
+//!   edge load_a -> mul flow
+//!   edge load_b -> mul flow
+//!   edge mul -> acc flow
+//!   edge acc -> acc flow dist=1
+//! end
+//! ```
+//!
+//! One file holds any number of `loop ... end` blocks. The round trip
+//! `parse_loops(&write_loops(&graphs))` is lossless: every re-imported graph
+//! is [`crate::fingerprint::ddg_fingerprint`]-identical to its source
+//! (pinned by `tests/format_roundtrip.rs` over every corpus in the
+//! workspace).
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::builder::DdgBuilder;
+use crate::edge::DepKind;
+use crate::graph::Ddg;
+use crate::node::{NodeId, OpKind};
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input (0 when the error is not tied to a
+    /// specific line, e.g. an unterminated block at end of input).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error pinned to a 1-based line (0 = whole input).
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// Whether a name can be written without quotes: ASCII alphanumerics plus
+/// `_`, `.`, `-` and `$`, not starting with a digit or `-`, and not a
+/// keyword of the format.
+fn is_bare(name: &str) -> bool {
+    let mut chars = name.chars();
+    let first_ok = matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_');
+    first_ok
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-' | '$'))
+        && !matches!(
+            name,
+            "loop" | "end" | "node" | "edge" | "iterations" | "invariants"
+        )
+}
+
+/// Appends `name` in quotes with the format's escapes.
+fn write_quoted(out: &mut String, name: &str) {
+    out.push('"');
+    for c in name.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `name`, bare when safe, quoted otherwise.
+fn write_name(out: &mut String, name: &str) {
+    if is_bare(name) {
+        out.push_str(name);
+    } else {
+        write_quoted(out, name);
+    }
+}
+
+/// Serialises one graph as a `loop ... end` block.
+pub fn write_loop(ddg: &Ddg) -> String {
+    let mut out = String::new();
+    out.push_str("loop ");
+    // Loop names are always quoted: they routinely contain spaces and
+    // suite-prefix punctuation, and a fixed shape is easier to grep.
+    write_quoted(&mut out, ddg.name());
+    out.push('\n');
+    let _ = writeln!(out, "  iterations {}", ddg.iteration_count());
+    let _ = writeln!(out, "  invariants {}", ddg.num_invariants());
+    for (_, n) in ddg.nodes() {
+        out.push_str("  node ");
+        write_name(&mut out, n.name());
+        let _ = write!(out, " {} latency={}", n.kind().mnemonic(), n.latency());
+        if n.invariant_uses() > 0 {
+            let _ = write!(out, " invariant_uses={}", n.invariant_uses());
+        }
+        if !n.defines_value() && n.kind().defines_value() {
+            out.push_str(" no_result");
+        }
+        out.push('\n');
+    }
+    for (_, e) in ddg.edges() {
+        out.push_str("  edge ");
+        write_name(&mut out, ddg.node(e.source()).name());
+        out.push_str(" -> ");
+        write_name(&mut out, ddg.node(e.target()).name());
+        let _ = write!(out, " {}", e.kind().label());
+        if e.distance() > 0 {
+            let _ = write!(out, " dist={}", e.distance());
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Serialises a whole suite, one block per graph, blocks separated by a
+/// blank line.
+pub fn write_loops(ddgs: &[Ddg]) -> String {
+    let mut out = String::new();
+    for (i, g) in ddgs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&write_loop(g));
+    }
+    out
+}
+
+/// One token of a line: a (possibly quoted) word or the `->` arrow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    /// A bare or quoted word. The flag records whether it was quoted
+    /// (quoted words are never keywords).
+    Word(String, bool),
+    /// The `->` edge arrow.
+    Arrow,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Word(w, _) => format!("`{w}`"),
+            Token::Arrow => "`->`".to_string(),
+        }
+    }
+}
+
+/// Splits one line into tokens, honouring quotes and `#` comments.
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '#' {
+            break;
+        } else if c == '"' {
+            chars.next();
+            let mut word = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(ParseError::new(lineno, "unterminated string")),
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('\\') => word.push('\\'),
+                        Some('"') => word.push('"'),
+                        Some('n') => word.push('\n'),
+                        Some('t') => word.push('\t'),
+                        Some(other) => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("unknown escape `\\{other}` in string"),
+                            ))
+                        }
+                        None => return Err(ParseError::new(lineno, "unterminated string")),
+                    },
+                    Some(ch) => word.push(ch),
+                }
+            }
+            tokens.push(Token::Word(word, true));
+        } else {
+            let mut word = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() || c == '#' || c == '"' {
+                    break;
+                }
+                word.push(c);
+                chars.next();
+            }
+            if word == "->" {
+                tokens.push(Token::Arrow);
+            } else {
+                tokens.push(Token::Word(word, false));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// State of the `loop` block currently being parsed.
+struct Block {
+    builder: DdgBuilder,
+    /// name → id, for edge endpoint resolution (duplicate names are
+    /// rejected at `build` time; first wins for resolution here).
+    names: Vec<(String, NodeId)>,
+    start_line: usize,
+}
+
+impl Block {
+    fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.names
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
+    }
+}
+
+/// Parses `key=value` attributes and flags from the tail of a line.
+fn parse_attrs(tokens: &[Token], lineno: usize) -> Result<Vec<(&str, Option<&str>)>, ParseError> {
+    let mut attrs = Vec::new();
+    for t in tokens {
+        match t {
+            Token::Word(w, false) => match w.split_once('=') {
+                Some((k, v)) => attrs.push((k, Some(v))),
+                None => attrs.push((w.as_str(), None)),
+            },
+            other => {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("unexpected token {}", other.describe()),
+                ))
+            }
+        }
+    }
+    Ok(attrs)
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str, lineno: usize) -> Result<T, ParseError> {
+    v.parse()
+        .map_err(|_| ParseError::new(lineno, format!("invalid {what} `{v}`")))
+}
+
+fn word(t: Option<&Token>, what: &str, lineno: usize) -> Result<String, ParseError> {
+    match t {
+        Some(Token::Word(w, _)) => Ok(w.clone()),
+        Some(other) => Err(ParseError::new(
+            lineno,
+            format!("expected {what}, found {}", other.describe()),
+        )),
+        None => Err(ParseError::new(lineno, format!("expected {what}"))),
+    }
+}
+
+/// Parses a whole file: any number of `loop ... end` blocks.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with a 1-based line number) on malformed
+/// syntax, unknown keywords/kinds, dangling edge endpoints, or when a block
+/// fails [`DdgBuilder::build`] validation (duplicate names, zero latency,
+/// empty body).
+pub fn parse_loops(input: &str) -> Result<Vec<Ddg>, ParseError> {
+    let mut loops = Vec::new();
+    let mut block: Option<Block> = None;
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let tokens = tokenize(line, lineno)?;
+        let Some(first) = tokens.first() else {
+            continue;
+        };
+        let keyword = match first {
+            Token::Word(w, false) => w.as_str(),
+            other => {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("expected a keyword, found {}", other.describe()),
+                ))
+            }
+        };
+        match (keyword, &mut block) {
+            ("loop", Some(_)) => {
+                return Err(ParseError::new(
+                    lineno,
+                    "`loop` inside an unterminated block (missing `end`?)",
+                ));
+            }
+            ("loop", slot @ None) => {
+                let name = word(tokens.get(1), "a loop name", lineno)?;
+                if tokens.len() > 2 {
+                    return Err(ParseError::new(lineno, "trailing tokens after loop name"));
+                }
+                *slot = Some(Block {
+                    builder: DdgBuilder::new(name),
+                    names: Vec::new(),
+                    start_line: lineno,
+                });
+            }
+            ("end", Some(_)) => {
+                let b = block.take().expect("matched Some");
+                let ddg = b
+                    .builder
+                    .build()
+                    .map_err(|e| ParseError::new(lineno, format!("invalid loop: {e}")))?;
+                loops.push(ddg);
+            }
+            ("iterations", Some(b)) => {
+                let v = word(tokens.get(1), "an iteration count", lineno)?;
+                b.builder
+                    .iteration_count(parse_num(&v, "iteration count", lineno)?);
+            }
+            ("invariants", Some(b)) => {
+                let v = word(tokens.get(1), "an invariant count", lineno)?;
+                b.builder
+                    .invariants(parse_num(&v, "invariant count", lineno)?);
+            }
+            ("node", Some(b)) => {
+                let name = word(tokens.get(1), "a node name", lineno)?;
+                let kind_word = word(tokens.get(2), "an operation kind", lineno)?;
+                let kind = OpKind::from_mnemonic(&kind_word).ok_or_else(|| {
+                    ParseError::new(lineno, format!("unknown operation kind `{kind_word}`"))
+                })?;
+                let mut latency: Option<u32> = None;
+                let mut invariant_uses: u32 = 0;
+                let mut no_result = false;
+                for (k, v) in parse_attrs(&tokens[3..], lineno)? {
+                    match (k, v) {
+                        ("latency", Some(v)) => latency = Some(parse_num(v, "latency", lineno)?),
+                        ("invariant_uses", Some(v)) => {
+                            invariant_uses = parse_num(v, "invariant_uses", lineno)?;
+                        }
+                        ("no_result", None) => no_result = true,
+                        (k, _) => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("unknown node attribute `{k}`"),
+                            ))
+                        }
+                    }
+                }
+                let latency = latency.ok_or_else(|| {
+                    ParseError::new(lineno, format!("node `{name}` is missing latency=N"))
+                })?;
+                let id = if no_result {
+                    b.builder.node_no_result(name.clone(), kind, latency)
+                } else {
+                    b.builder.node(name.clone(), kind, latency)
+                };
+                if invariant_uses > 0 {
+                    b.builder.node_invariant_uses(id, invariant_uses);
+                }
+                b.names.push((name, id));
+            }
+            ("edge", Some(b)) => {
+                let src_name = word(tokens.get(1), "a source node name", lineno)?;
+                if tokens.get(2) != Some(&Token::Arrow) {
+                    return Err(ParseError::new(lineno, "expected `->` after edge source"));
+                }
+                let dst_name = word(tokens.get(3), "a target node name", lineno)?;
+                let kind_word = word(tokens.get(4), "a dependence kind", lineno)?;
+                let kind = DepKind::from_label(&kind_word).ok_or_else(|| {
+                    ParseError::new(lineno, format!("unknown dependence kind `{kind_word}`"))
+                })?;
+                let mut distance: u32 = 0;
+                for (k, v) in parse_attrs(&tokens[5..], lineno)? {
+                    match (k, v) {
+                        ("dist", Some(v)) => distance = parse_num(v, "distance", lineno)?,
+                        (k, _) => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("unknown edge attribute `{k}`"),
+                            ))
+                        }
+                    }
+                }
+                let src = b.lookup(&src_name).ok_or_else(|| {
+                    ParseError::new(lineno, format!("edge references unknown node `{src_name}`"))
+                })?;
+                let dst = b.lookup(&dst_name).ok_or_else(|| {
+                    ParseError::new(lineno, format!("edge references unknown node `{dst_name}`"))
+                })?;
+                b.builder
+                    .edge(src, dst, kind, distance)
+                    .map_err(|e| ParseError::new(lineno, format!("invalid edge: {e}")))?;
+            }
+            (kw, Some(_)) => {
+                return Err(ParseError::new(lineno, format!("unknown keyword `{kw}`")));
+            }
+            (kw, None) => {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("`{kw}` outside a `loop ... end` block"),
+                ));
+            }
+        }
+    }
+    if let Some(b) = block {
+        return Err(ParseError::new(
+            0,
+            format!(
+                "loop block starting on line {} is never closed with `end`",
+                b.start_line
+            ),
+        ));
+    }
+    Ok(loops)
+}
+
+/// Parses a file that must contain exactly one loop.
+///
+/// # Errors
+///
+/// Same as [`parse_loops`], plus an error when the input holds zero or more
+/// than one block.
+pub fn parse_loop(input: &str) -> Result<Ddg, ParseError> {
+    let mut loops = parse_loops(input)?;
+    match loops.len() {
+        1 => Ok(loops.remove(0)),
+        n => Err(ParseError::new(
+            0,
+            format!("expected exactly one loop, found {n}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::ddg_fingerprint;
+    use crate::{DdgBuilder, DepKind, OpKind};
+
+    fn tricky() -> Ddg {
+        let mut b = DdgBuilder::new("tricky \"loop\" \\ name");
+        let a = b.node("plain", OpKind::Load, 2);
+        let c = b.node("needs quoting", OpKind::FpAdd, 1);
+        let d = b.node_no_result("cmp", OpKind::IntAlu, 1);
+        b.node_invariant_uses(a, 2);
+        b.edge(a, c, DepKind::RegFlow, 0).unwrap();
+        b.edge(c, c, DepKind::RegFlow, 3).unwrap();
+        b.edge(d, c, DepKind::Control, 1).unwrap();
+        b.invariants(5).iteration_count(12345);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_fingerprint_identical() {
+        let g = tricky();
+        let text = write_loop(&g);
+        let back = parse_loop(&text).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(ddg_fingerprint(&back), ddg_fingerprint(&g));
+    }
+
+    #[test]
+    fn multi_loop_files_round_trip_in_order() {
+        let a = crate::chain("first", 3, OpKind::FpAdd, 1);
+        let b = tricky();
+        let text = write_loops(&[a.clone(), b.clone()]);
+        let back = parse_loops(&text).unwrap();
+        assert_eq!(back, vec![a, b]);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_bare_names_are_accepted() {
+        let text = "\n# a comment\nloop \"l\"\n  node a fadd latency=1 # trailing\n\n  node b fmul latency=2\n  edge a -> b flow\nend\n";
+        let g = parse_loop(text).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.node_by_name("a").is_some());
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        // dist defaults to 0; iterations/invariants default to builder
+        // defaults (1 and sum-of-uses respectively).
+        let text = "loop l\nnode a load latency=2 invariant_uses=1\nnode b store latency=1\nedge a -> b flow\nend\n";
+        let g = parse_loop(text).unwrap();
+        let (_, e) = g.edges().next().unwrap();
+        assert_eq!(e.distance(), 0);
+        assert_eq!(g.iteration_count(), 1);
+        assert_eq!(g.num_invariants(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("loop l\nnode a zzz latency=1\nend\n", 2, "operation kind"),
+            ("loop l\nnode a fadd\nend\n", 2, "latency"),
+            (
+                "loop l\nnode a fadd latency=1\nedge a -> b flow\nend\n",
+                3,
+                "unknown node",
+            ),
+            (
+                "loop l\nnode a fadd latency=1\nedge a b flow\nend\n",
+                3,
+                "->",
+            ),
+            ("node a fadd latency=1\n", 1, "outside"),
+            ("loop l\nloop m\n", 2, "unterminated"),
+            ("loop l\nnode a fadd latency=1\n", 0, "never closed"),
+            (
+                "loop l\nnode \"a fadd latency=1\nend\n",
+                2,
+                "unterminated string",
+            ),
+            ("loop l\nnode a fadd latency=x\nend\n", 2, "invalid latency"),
+            ("loop l\nfrobnicate\nend\n", 2, "unknown keyword"),
+        ];
+        for (text, line, needle) in cases {
+            let err = parse_loops(text).unwrap_err();
+            assert_eq!(err.line, *line, "case {text:?}: {err}");
+            assert!(
+                err.to_string().contains(needle),
+                "case {text:?}: message {err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_validation_errors_surface() {
+        let text = "loop l\nnode a fadd latency=1\nnode a fmul latency=2\nend\n";
+        let err = parse_loops(text).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+
+        let text = "loop l\nnode s store latency=1\nnode a fadd latency=1\nedge s -> a flow\nend\n";
+        let err = parse_loops(text).unwrap_err();
+        assert!(err.to_string().contains("no value"));
+    }
+
+    #[test]
+    fn escapes_round_trip_in_names() {
+        let mut b = DdgBuilder::new("esc");
+        b.node("a\"b\\c\nd\te", OpKind::FpAdd, 1);
+        let g = b.build().unwrap();
+        let back = parse_loop(&write_loop(&g)).unwrap();
+        assert_eq!(back.node(NodeId(0)).name(), "a\"b\\c\nd\te");
+    }
+
+    #[test]
+    fn keyword_like_names_are_quoted_and_survive() {
+        let mut b = DdgBuilder::new("kw");
+        b.node("end", OpKind::FpAdd, 1);
+        b.node("loop", OpKind::FpMul, 2);
+        let g = b.build().unwrap();
+        let back = parse_loop(&write_loop(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn empty_input_parses_to_no_loops() {
+        assert!(parse_loops("").unwrap().is_empty());
+        assert!(parse_loops("# only comments\n\n").unwrap().is_empty());
+    }
+}

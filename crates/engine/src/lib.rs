@@ -135,6 +135,35 @@ impl BatchEngine {
         self.map(loops, |_, ddg| scheduler.schedule_loop(ddg, machine))
     }
 
+    /// Schedules the full cross product `schedulers × loops` on `machine`.
+    ///
+    /// Returns one row per scheduler, each holding the per-loop outcomes in
+    /// loop order: `grid[s][l]` is scheduler `s` applied to loop `l`. All
+    /// `schedulers.len() * loops.len()` cells are claimed through the same
+    /// atomic cursor, so a slow scheduler does not serialise the batch, and
+    /// the output shape is deterministic regardless of worker interleaving.
+    /// This is the engine entry point behind `hrms schedule` (which prints
+    /// cell results in loop-major order to keep the report stream stable).
+    pub fn schedule_grid(
+        &self,
+        schedulers: &[&(dyn ModuloScheduler + Sync)],
+        loops: &[Ddg],
+        machine: &Machine,
+    ) -> Vec<Vec<Result<ScheduleOutcome, SchedError>>> {
+        let cells: Vec<(usize, usize)> = (0..schedulers.len())
+            .flat_map(|s| (0..loops.len()).map(move |l| (s, l)))
+            .collect();
+        let mut flat = self
+            .map(&cells, |_, &(s, l)| {
+                schedulers[s].schedule_loop(&loops[l], machine)
+            })
+            .into_iter();
+        schedulers
+            .iter()
+            .map(|_| flat.by_ref().take(loops.len()).collect())
+            .collect()
+    }
+
     /// Like [`BatchEngine::schedule_batch`] but panicking on the first loop
     /// that fails to schedule — for harness inputs that are known to be
     /// schedulable.
@@ -250,6 +279,48 @@ mod tests {
         for (o, ddg) in outcomes.iter().zip(&loops) {
             assert_eq!(o.schedule.len(), ddg.num_nodes());
         }
+    }
+
+    #[test]
+    fn schedule_grid_matches_per_scheduler_batches() {
+        use hrms_baselines::{SlackScheduler, TopDownScheduler};
+        let loops = LoopGenerator::with_seed(21).generate(10);
+        let machine = presets::govindarajan();
+        let hrms = HrmsScheduler::new();
+        let top_down = TopDownScheduler::new();
+        let slack = SlackScheduler::new();
+        let schedulers: Vec<&(dyn ModuloScheduler + Sync)> = vec![&hrms, &top_down, &slack];
+
+        let engine = BatchEngine::with_workers(6);
+        let grid = engine.schedule_grid(&schedulers, &loops, &machine);
+        assert_eq!(grid.len(), schedulers.len());
+        for (row, scheduler) in grid.iter().zip(&schedulers) {
+            assert_eq!(row.len(), loops.len());
+            let batch = engine.schedule_batch(*scheduler, &loops, &machine);
+            for ((cell, expected), ddg) in row.iter().zip(&batch).zip(&loops) {
+                let (cell, expected) = (cell.as_ref().unwrap(), expected.as_ref().unwrap());
+                assert_eq!(
+                    cell.schedule,
+                    expected.schedule,
+                    "scheduler `{}`, loop `{}`",
+                    scheduler.name(),
+                    ddg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_grid_with_no_loops_or_schedulers_is_empty() {
+        let engine = BatchEngine::with_workers(2);
+        let machine = presets::govindarajan();
+        let hrms = HrmsScheduler::new();
+        let schedulers: Vec<&(dyn ModuloScheduler + Sync)> = vec![&hrms];
+        let grid = engine.schedule_grid(&schedulers, &[], &machine);
+        assert_eq!(grid.len(), 1);
+        assert!(grid[0].is_empty());
+        let grid = engine.schedule_grid(&[], &LoopGenerator::with_seed(1).generate(2), &machine);
+        assert!(grid.is_empty());
     }
 
     #[test]

@@ -31,13 +31,17 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fingerprint;
 pub mod machine;
 pub mod presets;
 pub mod resmii;
+pub mod textfmt;
 
 pub use error::MachineError;
+pub use fingerprint::machine_fingerprint;
 pub use machine::{ClassId, Machine, MachineBuilder, ResourceClass};
 pub use resmii::res_mii;
+pub use textfmt::{parse_machine, write_machine};
 
 use hrms_ddg::{Ddg, DdgBuilder};
 

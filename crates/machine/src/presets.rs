@@ -95,6 +95,40 @@ pub fn perfect_club_wide() -> Machine {
         .expect("preset machines are always valid")
 }
 
+/// CLI slugs of the nullary presets, in the order reported by [`all`].
+///
+/// These are the names accepted by [`by_name`] and by `hrms schedule
+/// --machine <preset>`; the parameterised [`general_purpose_n`] family is
+/// only reachable through a `.machine` file.
+pub const PRESET_NAMES: [&str; 4] = [
+    "general-purpose",
+    "govindarajan",
+    "perfect-club",
+    "perfect-club-wide",
+];
+
+/// Resolves a preset by its [`PRESET_NAMES`] slug.
+///
+/// Returns `None` for unknown names; callers (the CLI, tests) decide how to
+/// report that, typically by listing [`PRESET_NAMES`].
+pub fn by_name(name: &str) -> Option<Machine> {
+    match name {
+        "general-purpose" => Some(general_purpose()),
+        "govindarajan" => Some(govindarajan()),
+        "perfect-club" => Some(perfect_club()),
+        "perfect-club-wide" => Some(perfect_club_wide()),
+        _ => None,
+    }
+}
+
+/// All nullary presets, in [`PRESET_NAMES`] order.
+pub fn all() -> Vec<Machine> {
+    PRESET_NAMES
+        .iter()
+        .map(|n| by_name(n).expect("every listed preset resolves"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +191,15 @@ mod tests {
         for m in [govindarajan(), perfect_club()] {
             assert_eq!(m.class_of(OpKind::Load), m.class_of(OpKind::Store));
         }
+    }
+
+    #[test]
+    fn every_preset_name_resolves_and_unknown_names_do_not() {
+        assert_eq!(all().len(), PRESET_NAMES.len());
+        for (slug, machine) in PRESET_NAMES.iter().zip(all()) {
+            assert_eq!(by_name(slug).unwrap(), machine);
+        }
+        assert!(by_name("bogus").is_none());
+        assert!(by_name("govindarajan-4fu").is_none(), "slugs, not names");
     }
 }

@@ -1,0 +1,367 @@
+//! The `.machine` text format: a hand-written, dependency-free codec for
+//! machine descriptions.
+//!
+//! Covers everything a [`Machine`] holds — resource classes (name, unit
+//! count, pipelining) and the per-operation-kind class mapping and latency —
+//! so every preset in [`crate::presets`] round-trips exactly. The format is
+//! line-oriented; the specification with a worked example lives in
+//! `docs/FORMATS.md`:
+//!
+//! ```text
+//! machine "govindarajan-4fu"
+//!   class fp-add count=1 pipelined
+//!   class fp-mul count=1 pipelined
+//!   class fp-div count=1 pipelined
+//!   class load-store count=1 pipelined
+//!   op fadd class=0 latency=1
+//!   op fmul class=1 latency=2
+//!   # ... one `op` line per operation kind ...
+//! end
+//! ```
+
+use std::fmt::Write as _;
+
+use hrms_ddg::textfmt::ParseError;
+use hrms_ddg::OpKind;
+
+use crate::machine::{Machine, MachineBuilder, ResourceClass};
+
+/// Whether a class or machine name can be written without quotes.
+fn is_bare(name: &str) -> bool {
+    let mut chars = name.chars();
+    let first_ok = matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_');
+    first_ok
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-' | '$'))
+        && !matches!(name, "machine" | "class" | "op" | "end")
+}
+
+/// Appends `name`, bare when safe, quoted (with escapes) otherwise.
+fn write_name(out: &mut String, name: &str) {
+    if is_bare(name) {
+        out.push_str(name);
+        return;
+    }
+    out.push('"');
+    for c in name.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialises a machine description as a `machine ... end` block.
+pub fn write_machine(machine: &Machine) -> String {
+    let mut out = String::new();
+    out.push_str("machine ");
+    write_name(&mut out, machine.name());
+    out.push('\n');
+    for class in machine.classes() {
+        out.push_str("  class ");
+        write_name(&mut out, &class.name);
+        let _ = write!(out, " count={}", class.count);
+        out.push_str(if class.pipelined {
+            " pipelined\n"
+        } else {
+            " unpipelined\n"
+        });
+    }
+    for kind in OpKind::ALL {
+        let _ = writeln!(
+            out,
+            "  op {} class={} latency={}",
+            kind.mnemonic(),
+            machine.class_of(kind).index(),
+            machine.latency_of(kind)
+        );
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// One whitespace-separated token of a line (quoted tokens may contain
+/// whitespace).
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<String>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '#' {
+            break;
+        } else if c == '"' {
+            chars.next();
+            let mut word = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(ParseError::new(lineno, "unterminated string")),
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('\\') => word.push('\\'),
+                        Some('"') => word.push('"'),
+                        Some('n') => word.push('\n'),
+                        Some('t') => word.push('\t'),
+                        Some(other) => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("unknown escape `\\{other}` in string"),
+                            ))
+                        }
+                        None => return Err(ParseError::new(lineno, "unterminated string")),
+                    },
+                    Some(ch) => word.push(ch),
+                }
+            }
+            tokens.push(word);
+        } else {
+            let mut word = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() || c == '#' || c == '"' {
+                    break;
+                }
+                word.push(c);
+                chars.next();
+            }
+            tokens.push(word);
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str, lineno: usize) -> Result<T, ParseError> {
+    v.parse()
+        .map_err(|_| ParseError::new(lineno, format!("invalid {what} `{v}`")))
+}
+
+/// Parses a machine description.
+///
+/// The input must contain exactly one `machine ... end` block; every
+/// operation kind must be mapped by an `op` line (the same validation as
+/// [`MachineBuilder::build`], surfaced with line information where
+/// possible). Class references in `op` lines accept either the dense class
+/// index (`class=0`) or the class name (`class=fp-add`).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed syntax, unknown kinds or class
+/// references, duplicate blocks, or failed machine validation.
+pub fn parse_machine(input: &str) -> Result<Machine, ParseError> {
+    let mut builder: Option<MachineBuilder> = None;
+    let mut class_names: Vec<String> = Vec::new();
+    let mut finished: Option<Machine> = None;
+
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let tokens = tokenize(line, lineno)?;
+        let Some(keyword) = tokens.first() else {
+            continue;
+        };
+        if finished.is_some() {
+            return Err(ParseError::new(
+                lineno,
+                "trailing content after `end`; a machine file holds one description",
+            ));
+        }
+        match (keyword.as_str(), &mut builder) {
+            ("machine", Some(_)) => {
+                return Err(ParseError::new(lineno, "nested `machine` block"));
+            }
+            ("machine", slot @ None) => {
+                let name = tokens
+                    .get(1)
+                    .ok_or_else(|| ParseError::new(lineno, "expected a machine name"))?;
+                *slot = Some(MachineBuilder::new(name.clone()));
+            }
+            ("class", Some(_)) => {
+                let name = tokens
+                    .get(1)
+                    .ok_or_else(|| ParseError::new(lineno, "expected a class name"))?
+                    .clone();
+                let mut count: Option<u32> = None;
+                let mut pipelined: Option<bool> = None;
+                for t in &tokens[2..] {
+                    match (t.split_once('='), t.as_str()) {
+                        (Some(("count", v)), _) => count = Some(parse_num(v, "count", lineno)?),
+                        (None, "pipelined") => pipelined = Some(true),
+                        (None, "unpipelined") => pipelined = Some(false),
+                        _ => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("unknown class attribute `{t}`"),
+                            ))
+                        }
+                    }
+                }
+                let count =
+                    count.ok_or_else(|| ParseError::new(lineno, "class is missing count=N"))?;
+                let pipelined = pipelined.ok_or_else(|| {
+                    ParseError::new(lineno, "class is missing pipelined|unpipelined")
+                })?;
+                let class = if pipelined {
+                    ResourceClass::pipelined(name.clone(), count)
+                } else {
+                    ResourceClass::unpipelined(name.clone(), count)
+                };
+                builder = Some(builder.take().expect("matched Some").class(class));
+                class_names.push(name);
+            }
+            ("op", Some(_)) => {
+                let kind_word = tokens
+                    .get(1)
+                    .ok_or_else(|| ParseError::new(lineno, "expected an operation kind"))?;
+                let kind = OpKind::from_mnemonic(kind_word).ok_or_else(|| {
+                    ParseError::new(lineno, format!("unknown operation kind `{kind_word}`"))
+                })?;
+                let mut class: Option<u32> = None;
+                let mut latency: Option<u32> = None;
+                for t in &tokens[2..] {
+                    match t.split_once('=') {
+                        Some(("class", v)) => {
+                            class = Some(match v.parse() {
+                                Ok(idx) => idx,
+                                Err(_) => class_names
+                                    .iter()
+                                    .position(|n| n == v)
+                                    .map(|i| i as u32)
+                                    .ok_or_else(|| {
+                                        ParseError::new(
+                                            lineno,
+                                            format!("unknown resource class `{v}`"),
+                                        )
+                                    })?,
+                            });
+                        }
+                        Some(("latency", v)) => latency = Some(parse_num(v, "latency", lineno)?),
+                        _ => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("unknown op attribute `{t}`"),
+                            ))
+                        }
+                    }
+                }
+                let class =
+                    class.ok_or_else(|| ParseError::new(lineno, "op is missing class=N"))?;
+                let latency =
+                    latency.ok_or_else(|| ParseError::new(lineno, "op is missing latency=N"))?;
+                builder = Some(
+                    builder
+                        .take()
+                        .expect("matched Some")
+                        .map(kind, class, latency),
+                );
+            }
+            ("end", Some(_)) => {
+                let b = builder.take().expect("matched Some");
+                finished = Some(
+                    b.build()
+                        .map_err(|e| ParseError::new(lineno, format!("invalid machine: {e}")))?,
+                );
+            }
+            (kw, Some(_)) => {
+                return Err(ParseError::new(lineno, format!("unknown keyword `{kw}`")));
+            }
+            (kw, None) => {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("`{kw}` outside a `machine ... end` block"),
+                ));
+            }
+        }
+    }
+    if builder.is_some() {
+        return Err(ParseError::new(
+            0,
+            "machine block is never closed with `end`",
+        ));
+    }
+    finished.ok_or_else(|| ParseError::new(0, "input contains no `machine` block"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn every_preset_round_trips_exactly() {
+        for machine in presets::all() {
+            let text = write_machine(&machine);
+            let back = parse_machine(&text).unwrap();
+            assert_eq!(back, machine, "preset `{}`", machine.name());
+        }
+    }
+
+    #[test]
+    fn class_references_by_name_are_resolved() {
+        let text = "machine m\nclass alu count=2 pipelined\nclass div count=1 unpipelined\nop fdiv class=div latency=10\nop fadd class=alu latency=1\nop fmul class=alu latency=2\nop fsqrt class=div latency=20\nop load class=alu latency=2\nop store class=alu latency=1\nop ialu class=alu latency=1\nop copy class=alu latency=1\nop op class=alu latency=1\nend\n";
+        let m = parse_machine(text).unwrap();
+        assert_eq!(m.num_classes(), 2);
+        assert_eq!(m.class_of(OpKind::FpDiv).index(), 1);
+        assert!(!m.class(m.class_of(OpKind::FpDiv)).pipelined);
+        assert_eq!(m.latency_of(OpKind::FpDiv), 10);
+    }
+
+    #[test]
+    fn quoted_names_survive() {
+        let mut m = write_machine(&presets::govindarajan());
+        m = m.replace("machine govindarajan-4fu", "machine \"weird \\\"name\\\"\"");
+        let back = parse_machine(&m).unwrap();
+        assert_eq!(back.name(), "weird \"name\"");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, line, needle) in [
+            ("class alu count=1 pipelined\n", 1, "outside"),
+            ("machine m\nclass alu pipelined\nend\n", 2, "count"),
+            ("machine m\nclass alu count=1\nend\n", 2, "pipelined"),
+            (
+                "machine m\nop zzz class=0 latency=1\nend\n",
+                2,
+                "operation kind",
+            ),
+            (
+                "machine m\nop fadd class=bogus latency=1\nend\n",
+                2,
+                "resource class",
+            ),
+            (
+                "machine m\nclass alu count=1 pipelined\nop fadd class=0 latency=1\nend\n",
+                4,
+                "invalid machine",
+            ),
+            ("machine m\nmachine n\n", 2, "nested"),
+            ("machine m\n", 0, "never closed"),
+            ("", 0, "no `machine` block"),
+            (
+                "machine m\nclass alu count=1 pipelined\nwibble\n",
+                3,
+                "unknown keyword",
+            ),
+        ] {
+            let err = parse_machine(text).unwrap_err();
+            assert_eq!(err.line, line, "case {text:?}: {err}");
+            assert!(
+                err.to_string().contains(needle),
+                "case {text:?}: `{err}` should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_content_after_end_is_rejected() {
+        let text = format!(
+            "{}machine again\nend\n",
+            write_machine(&presets::general_purpose())
+        );
+        let err = parse_machine(&text).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+}

@@ -32,6 +32,7 @@ pub mod lifetime;
 pub mod mii;
 pub mod mrt;
 pub mod partial;
+pub mod report;
 pub mod schedule;
 pub mod scheduler;
 pub mod validate;
@@ -42,6 +43,7 @@ pub use lifetime::{LifetimeAnalysis, ValueLifetime};
 pub use mii::{dependence_latency, MiiInfo};
 pub use mrt::ModuloReservationTable;
 pub use partial::PartialSchedule;
+pub use report::{report_line, ReportOptions};
 pub use schedule::Schedule;
 pub use scheduler::{ModuloScheduler, ScheduleMetrics, ScheduleOutcome, SchedulerConfig};
 pub use validate::{validate_schedule, ValidationError};

@@ -1,0 +1,220 @@
+//! JSON-lines schedule reports.
+//!
+//! One schedule result serialises to one line of JSON (the *JSON-lines*
+//! convention: concatenating results yields a valid stream, and line-oriented
+//! tools — `grep`, `sort`, `jq -c` — compose over it). The writer is
+//! hand-rolled because the workspace deliberately carries no serialisation
+//! dependency; the exact field set and ordering are part of the on-disk
+//! format contract documented in `docs/FORMATS.md`.
+//!
+//! Every line embeds the structural digests of its inputs
+//! ([`hrms_ddg::ddg_fingerprint`], [`hrms_machine::machine_fingerprint`])
+//! and the combined [`hrms_ddg::cache_key`], so a report is
+//! content-addressable: two lines with equal `cache_key` values were
+//! produced from byte-identical loop/machine/scheduler inputs and can be
+//! deduplicated or diffed without re-running the scheduler.
+
+use std::fmt::Write as _;
+
+use hrms_ddg::{cache_key, ddg_fingerprint, format_digest, Ddg};
+use hrms_machine::{machine_fingerprint, Machine};
+
+use crate::scheduler::ScheduleOutcome;
+
+/// Options controlling what a report line includes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReportOptions {
+    /// Include wall-clock timing (`elapsed_us`, `ordering_us`). Off by
+    /// default so that reports are deterministic and golden-diffable; the
+    /// CLI turns it on with `--timing`.
+    pub timing: bool,
+}
+
+/// Appends `s` as a JSON string literal (with escapes) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialises one schedule result as a single JSON line (no trailing
+/// newline).
+///
+/// `ddg` must be the graph that was scheduled (it supplies operation names
+/// for the kernel table and the loop digest) and `scheduler` the
+/// [`crate::ModuloScheduler::name`] of the scheduler that produced
+/// `outcome`.
+pub fn report_line(
+    ddg: &Ddg,
+    machine: &Machine,
+    scheduler: &str,
+    outcome: &ScheduleOutcome,
+    options: ReportOptions,
+) -> String {
+    let loop_digest = ddg_fingerprint(ddg);
+    let machine_digest = machine_fingerprint(machine);
+    let key = cache_key(loop_digest, machine_digest, scheduler);
+    let m = &outcome.metrics;
+
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"loop\":");
+    push_json_str(&mut out, ddg.name());
+    out.push_str(",\"scheduler\":");
+    push_json_str(&mut out, scheduler);
+    out.push_str(",\"machine\":");
+    push_json_str(&mut out, machine.name());
+    let _ = write!(
+        out,
+        ",\"loop_digest\":\"{}\",\"machine_digest\":\"{}\",\"cache_key\":\"{}\"",
+        format_digest(loop_digest),
+        format_digest(machine_digest),
+        format_digest(key)
+    );
+    let _ = write!(
+        out,
+        ",\"ii\":{},\"mii\":{},\"res_mii\":{},\"rec_mii\":{},\"ii_optimal\":{}",
+        m.ii,
+        m.mii,
+        m.res_mii,
+        m.rec_mii,
+        m.ii_is_optimal()
+    );
+    let _ = write!(
+        out,
+        ",\"stage_count\":{},\"span\":{},\"max_live\":{},\"max_live_with_invariants\":{},\"buffers\":{},\"total_lifetime\":{},\"attempts\":{}",
+        m.stage_count,
+        m.span,
+        m.max_live,
+        m.max_live_with_invariants,
+        m.buffers,
+        m.total_lifetime,
+        outcome.attempts
+    );
+    if outcome.recurrence_truncated {
+        out.push_str(",\"recurrence_truncated\":true");
+    }
+    out.push_str(",\"kernel\":[");
+    let kernel = outcome.schedule.kernel();
+    for (r, row) in kernel.rows().enumerate() {
+        if r > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (i, &(node, stage)) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"op\":");
+            push_json_str(&mut out, ddg.node(node).name());
+            let _ = write!(out, ",\"stage\":{stage}}}");
+        }
+        out.push(']');
+    }
+    out.push(']');
+    if options.timing {
+        let _ = write!(
+            out,
+            ",\"elapsed_us\":{},\"ordering_us\":{}",
+            outcome.elapsed.as_micros(),
+            outcome.ordering_time.as_micros()
+        );
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mii::MiiInfo;
+    use crate::schedule::Schedule;
+    use hrms_ddg::{DdgBuilder, DepKind, OpKind};
+    use hrms_machine::presets;
+    use std::time::Duration;
+
+    fn sample() -> (Ddg, Machine, ScheduleOutcome) {
+        let mut b = DdgBuilder::new("sample \"loop\"");
+        let ld = b.node("ld", OpKind::Load, 2);
+        let add = b.node("add", OpKind::FpAdd, 1);
+        b.edge(ld, add, DepKind::RegFlow, 0).unwrap();
+        let g = b.build().unwrap();
+        let m = presets::govindarajan();
+        let mii = MiiInfo::compute(&g, &m).unwrap();
+        let outcome = ScheduleOutcome::new(
+            &g,
+            Schedule::new(1, vec![0, 2]),
+            mii,
+            1,
+            Duration::from_micros(120),
+            Duration::from_micros(40),
+        );
+        (g, m, outcome)
+    }
+
+    #[test]
+    fn line_contains_the_key_fields_in_order() {
+        let (g, m, outcome) = sample();
+        let line = report_line(&g, &m, "HRMS", &outcome, ReportOptions::default());
+        assert!(line.starts_with("{\"loop\":\"sample \\\"loop\\\"\""));
+        assert!(line.contains("\"scheduler\":\"HRMS\""));
+        assert!(line.contains("\"machine\":\"govindarajan-4fu\""));
+        assert!(line.contains("\"ii\":1,\"mii\":1"));
+        assert!(line.contains("\"ii_optimal\":true"));
+        assert!(line
+            .contains("\"kernel\":[[{\"op\":\"ld\",\"stage\":0},{\"op\":\"add\",\"stage\":2}]]"));
+        assert!(line.ends_with('}'));
+        assert!(!line.contains('\n'), "one result = one line");
+        assert!(!line.contains("elapsed_us"), "timing is opt-in");
+    }
+
+    #[test]
+    fn timing_is_included_on_request() {
+        let (g, m, outcome) = sample();
+        let line = report_line(&g, &m, "HRMS", &outcome, ReportOptions { timing: true });
+        assert!(line.contains("\"elapsed_us\":120"));
+        assert!(line.contains("\"ordering_us\":40"));
+    }
+
+    #[test]
+    fn digests_match_the_fingerprint_functions() {
+        let (g, m, outcome) = sample();
+        let line = report_line(&g, &m, "Slack", &outcome, ReportOptions::default());
+        let lk = format_digest(ddg_fingerprint(&g));
+        let mk = format_digest(machine_fingerprint(&m));
+        let ck = format_digest(cache_key(
+            ddg_fingerprint(&g),
+            machine_fingerprint(&m),
+            "Slack",
+        ));
+        assert!(line.contains(&format!("\"loop_digest\":\"{lk}\"")));
+        assert!(line.contains(&format!("\"machine_digest\":\"{mk}\"")));
+        assert!(line.contains(&format!("\"cache_key\":\"{ck}\"")));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\u{1}b\tc\\d");
+        assert_eq!(out, "\"a\\u0001b\\tc\\\\d\"");
+    }
+
+    #[test]
+    fn truncation_flag_is_surfaced() {
+        let (g, m, outcome) = sample();
+        let outcome = outcome.with_recurrence_truncated(true);
+        let line = report_line(&g, &m, "HRMS", &outcome, ReportOptions::default());
+        assert!(line.contains("\"recurrence_truncated\":true"));
+    }
+}

@@ -1,0 +1,33 @@
+//! The `hrms` command-line tool: schedule loops, convert loop formats and
+//! inspect machine descriptions. See `docs/CLI.md` or `hrms help`.
+
+use std::io::{Read, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Only pay for reading stdin when some input source asks for it.
+    let mut stdin = String::new();
+    if args.iter().any(|a| a == "-") {
+        if let Err(e) = std::io::stdin().read_to_string(&mut stdin) {
+            eprintln!("hrms: cannot read stdin: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    match hrms_repro::cli::run(&args, &stdin) {
+        Ok(output) => {
+            // Write without final-newline fixups: `run` produces exact text,
+            // and golden tests diff it byte-for-byte.
+            let mut out = std::io::stdout().lock();
+            if out.write_all(output.as_bytes()).is_err() {
+                // Broken pipe (e.g. `hrms ... | head`) is not an error.
+                std::process::exit(0);
+            }
+        }
+        Err(e) => {
+            eprintln!("hrms: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

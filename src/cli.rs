@@ -1,0 +1,488 @@
+//! The implementation of the `hrms` command-line tool.
+//!
+//! Everything except process concerns (argv, stdin, exit) lives here so the
+//! integration tests can drive the CLI in-process: [`run`] takes the
+//! argument list and the stdin contents and returns the full stdout text.
+//! `src/bin/hrms.rs` is a thin wrapper around it. The user-facing
+//! documentation is `docs/CLI.md`.
+
+use std::fmt::Write as _;
+
+use hrms_ddg::{dot, parse_loops, textfmt, Ddg};
+use hrms_engine::BatchEngine;
+use hrms_machine::{presets, write_machine, Machine};
+use hrms_modsched::{report_line, ModuloScheduler, ReportOptions, ScheduleOutcome};
+
+use crate::registry::{
+    all_schedulers, resolve_machine, scheduler_by_slug, BoxedScheduler, SCHEDULER_SLUGS,
+};
+
+/// A CLI failure: a message for stderr and the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description, printed to stderr by the binary.
+    pub message: String,
+    /// Process exit code: 2 for usage errors, 1 for data errors.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn data(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The `--emit` mode of `hrms schedule`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    Kernel,
+    Json,
+    Dot,
+}
+
+const USAGE: &str = "\
+hrms — software pipelining with Hypernode Reduction Modulo Scheduling
+
+USAGE:
+    hrms schedule <FILE|->...  [--scheduler <slugs>|all] [--machine <preset|file>]
+                               [--emit kernel|json|dot] [--timing] [--workers N]
+    hrms convert  <FILE|->...  --to loop|dot
+    hrms machine  <preset|file>
+    hrms list
+    hrms help
+
+Loop inputs are `.loop` files (docs/FORMATS.md) or Graphviz DOT files
+(auto-detected); `-` reads from stdin. `--scheduler` takes a
+comma-separated list of slugs (default: hrms).
+";
+
+/// Runs the CLI with the given arguments (excluding the program name) and
+/// stdin contents, returning the stdout text.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] carrying the message and exit code on any usage
+/// or data error.
+pub fn run(args: &[String], stdin: &str) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("schedule") => cmd_schedule(&args[1..], stdin),
+        Some("convert") => cmd_convert(&args[1..], stdin),
+        Some("machine") => cmd_machine(&args[1..]),
+        Some("list") => Ok(cmd_list()),
+        Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown subcommand `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+/// Reads one input source: a path or `-` for stdin.
+fn read_source(source: &str, stdin: &str) -> Result<String, CliError> {
+    if source == "-" {
+        return Ok(stdin.to_string());
+    }
+    std::fs::read_to_string(source)
+        .map_err(|e| CliError::data(format!("cannot read `{source}`: {e}")))
+}
+
+/// Whether `text` looks like Graphviz DOT rather than the `.loop` format:
+/// the first line that is neither blank nor a `#` comment starts a DOT
+/// construct.
+fn looks_like_dot(text: &str) -> bool {
+    for line in text.lines() {
+        let t = line.trim_start();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        return t.starts_with("digraph")
+            || t.starts_with("strict")
+            || t.starts_with("//")
+            || t.starts_with("/*");
+    }
+    false
+}
+
+/// Parses one input source into its loops (a `.loop` file may hold several;
+/// a DOT file holds exactly one graph).
+fn parse_source(source: &str, text: &str) -> Result<Vec<Ddg>, CliError> {
+    if looks_like_dot(text) {
+        dot::from_dot(text)
+            .map(|g| vec![g])
+            .map_err(|e| CliError::data(format!("{source}: {e}")))
+    } else {
+        parse_loops(text).map_err(|e| CliError::data(format!("{source}: {e}")))
+    }
+}
+
+/// Loads every loop from the listed sources, in argument order.
+fn load_loops(sources: &[&str], stdin: &str) -> Result<Vec<Ddg>, CliError> {
+    if sources.is_empty() {
+        return Err(CliError::usage(
+            "no input files given (use `-` to read stdin)",
+        ));
+    }
+    let mut loops = Vec::new();
+    for source in sources {
+        let text = read_source(source, stdin)?;
+        loops.extend(parse_source(source, &text)?);
+    }
+    if loops.is_empty() {
+        return Err(CliError::data("the inputs contain no loops"));
+    }
+    Ok(loops)
+}
+
+fn flag_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, CliError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage(format!("`{flag}` needs a value")))
+}
+
+fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
+    let mut sources: Vec<&str> = Vec::new();
+    let mut scheduler_arg = "hrms".to_string();
+    let mut machine_arg = "govindarajan".to_string();
+    let mut emit = Emit::Kernel;
+    let mut timing = false;
+    let mut workers: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheduler" => scheduler_arg = flag_value(&mut it, "--scheduler")?.to_string(),
+            "--machine" => machine_arg = flag_value(&mut it, "--machine")?.to_string(),
+            "--emit" => {
+                emit = match flag_value(&mut it, "--emit")? {
+                    "kernel" => Emit::Kernel,
+                    "json" => Emit::Json,
+                    "dot" => Emit::Dot,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "unknown emit mode `{other}` (kernel, json or dot)"
+                        )))
+                    }
+                }
+            }
+            "--timing" => timing = true,
+            "--workers" => {
+                let v = flag_value(&mut it, "--workers")?;
+                workers = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("`--workers` needs a number, got `{v}`"))
+                })?);
+            }
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(CliError::usage(format!("unknown flag `{flag}`")));
+            }
+            file => sources.push(file),
+        }
+    }
+
+    let loops = load_loops(&sources, stdin)?;
+    let machine = resolve_machine(&machine_arg).map_err(CliError::data)?;
+
+    if emit == Emit::Dot {
+        // DOT output is a property of the loops alone; no scheduling runs.
+        let rendered: Vec<String> = loops.iter().map(dot::to_dot_default).collect();
+        return Ok(rendered.join("\n"));
+    }
+
+    let schedulers: Vec<BoxedScheduler> = if scheduler_arg == "all" {
+        all_schedulers()
+    } else {
+        scheduler_arg
+            .split(',')
+            .map(|slug| {
+                scheduler_by_slug(slug.trim()).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "unknown scheduler `{}` (known: {}, or `all`)",
+                        slug.trim(),
+                        SCHEDULER_SLUGS.join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let scheduler_refs: Vec<&(dyn ModuloScheduler + Sync)> = schedulers
+        .iter()
+        .map(|b| &**b as &(dyn ModuloScheduler + Sync))
+        .collect();
+
+    let engine = match workers {
+        Some(n) => BatchEngine::with_workers(n),
+        None => BatchEngine::new(),
+    };
+    let grid = engine.schedule_grid(&scheduler_refs, &loops, &machine);
+
+    // Loop-major output: all schedulers for loop 0, then loop 1, ... The
+    // engine's grid is deterministic, so this stream is byte-stable.
+    let mut out = String::new();
+    let mut failures = 0usize;
+    for (l, ddg) in loops.iter().enumerate() {
+        for (s, scheduler) in scheduler_refs.iter().enumerate() {
+            match &grid[s][l] {
+                Ok(outcome) => match emit {
+                    Emit::Kernel => {
+                        render_kernel(&mut out, ddg, &machine, scheduler.name(), outcome, timing)
+                    }
+                    Emit::Json => {
+                        out.push_str(&report_line(
+                            ddg,
+                            &machine,
+                            scheduler.name(),
+                            outcome,
+                            ReportOptions { timing },
+                        ));
+                        out.push('\n');
+                    }
+                    Emit::Dot => unreachable!("handled above"),
+                },
+                Err(e) => {
+                    failures += 1;
+                    let _ = writeln!(
+                        out,
+                        "error: scheduler `{}` failed on loop `{}`: {e}",
+                        scheduler.name(),
+                        ddg.name()
+                    );
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(CliError::data(format!(
+            "{failures} of {} schedule(s) failed:\n{out}",
+            loops.len() * scheduler_refs.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Appends the human-readable kernel block for one (loop, scheduler) cell.
+fn render_kernel(
+    out: &mut String,
+    ddg: &Ddg,
+    machine: &Machine,
+    scheduler: &str,
+    outcome: &ScheduleOutcome,
+    timing: bool,
+) {
+    let m = &outcome.metrics;
+    let _ = writeln!(
+        out,
+        "== loop `{}` | scheduler {} | machine {}",
+        ddg.name(),
+        scheduler,
+        machine.name()
+    );
+    let _ = writeln!(
+        out,
+        "II={} MII={} (res={}, rec={}) stages={} span={} max_live={} buffers={}",
+        m.ii, m.mii, m.res_mii, m.rec_mii, m.stage_count, m.span, m.max_live, m.buffers
+    );
+    if timing {
+        let _ = writeln!(
+            out,
+            "time={}us (ordering {}us, {} II attempt(s))",
+            outcome.elapsed.as_micros(),
+            outcome.ordering_time.as_micros(),
+            outcome.attempts
+        );
+    }
+    out.push_str(&outcome.schedule.kernel().render(ddg));
+    out.push('\n');
+}
+
+fn cmd_convert(args: &[String], stdin: &str) -> Result<String, CliError> {
+    let mut sources: Vec<&str> = Vec::new();
+    let mut to: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--to" => to = Some(flag_value(&mut it, "--to")?),
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(CliError::usage(format!("unknown flag `{flag}`")));
+            }
+            file => sources.push(file),
+        }
+    }
+    let loops = load_loops(&sources, stdin)?;
+    match to {
+        Some("loop") => Ok(textfmt::write_loops(&loops)),
+        Some("dot") => {
+            let rendered: Vec<String> = loops.iter().map(dot::to_dot_default).collect();
+            Ok(rendered.join("\n"))
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown target format `{other}` (loop or dot)"
+        ))),
+        None => Err(CliError::usage("`convert` needs `--to loop|dot`")),
+    }
+}
+
+fn cmd_machine(args: &[String]) -> Result<String, CliError> {
+    match args {
+        [name] => {
+            let machine = resolve_machine(name).map_err(CliError::data)?;
+            Ok(write_machine(&machine))
+        }
+        _ => Err(CliError::usage(
+            "`machine` takes exactly one preset or file",
+        )),
+    }
+}
+
+fn cmd_list() -> String {
+    let mut out = String::from("schedulers (--scheduler):\n");
+    for slug in SCHEDULER_SLUGS {
+        let scheduler = scheduler_by_slug(slug).expect("listed slug resolves");
+        let _ = writeln!(out, "  {slug:<10} {}", scheduler.name());
+    }
+    out.push_str("machine presets (--machine):\n");
+    for machine in presets::all() {
+        let _ = writeln!(
+            out,
+            "  {:<18} {} units, {} classes",
+            machine.name(),
+            machine.total_units(),
+            machine.num_classes()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_subcommands() {
+        assert!(run(&[], "").unwrap().contains("USAGE"));
+        assert!(run(&args(&["help"]), "").unwrap().contains("schedule"));
+        let err = run(&args(&["frobnicate"]), "").unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn list_names_every_scheduler_and_preset() {
+        let out = cmd_list();
+        for slug in SCHEDULER_SLUGS {
+            assert!(out.contains(slug), "{slug} missing from:\n{out}");
+        }
+        for name in presets::PRESET_NAMES {
+            let machine = presets::by_name(name).unwrap();
+            assert!(out.contains(machine.name()));
+        }
+    }
+
+    #[test]
+    fn schedule_from_stdin_produces_a_kernel() {
+        let input = "loop l\nnode a load latency=1\nnode b fadd latency=1\nedge a -> b flow\nend\n";
+        let out = run(
+            &args(&["schedule", "-", "--machine", "general-purpose"]),
+            input,
+        )
+        .unwrap();
+        assert!(out.contains("== loop `l` | scheduler HRMS | machine general-4xL2"));
+        assert!(out.contains("II=1 MII=1"));
+    }
+
+    #[test]
+    fn schedule_json_is_one_line_per_result() {
+        let input = "loop l\nnode a load latency=1\nend\n";
+        let out = run(
+            &args(&[
+                "schedule",
+                "-",
+                "--scheduler",
+                "hrms,slack",
+                "--emit",
+                "json",
+            ]),
+            input,
+        )
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"scheduler\":\"HRMS\""));
+        assert!(lines[1].contains("\"scheduler\":\"Slack\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn dot_input_is_autodetected() {
+        let input = "digraph g { a -> b; }\n";
+        let out = run(&args(&["schedule", "-", "--emit", "json"]), input).unwrap();
+        assert!(out.contains("\"loop\":\"g\""), "got: {out}");
+    }
+
+    #[test]
+    fn convert_round_trips_between_formats() {
+        let input = "loop l\nnode a load latency=2\nnode b fadd latency=1\nedge a -> b flow\nend\n";
+        let as_dot = run(&args(&["convert", "-", "--to", "dot"]), input).unwrap();
+        assert!(as_dot.contains("digraph"));
+        let back = run(&args(&["convert", "-", "--to", "loop"]), &as_dot).unwrap();
+        let original = parse_loops(input).unwrap();
+        let reparsed = parse_loops(&back).unwrap();
+        assert_eq!(
+            hrms_ddg::ddg_fingerprint(&original[0]),
+            hrms_ddg::ddg_fingerprint(&reparsed[0])
+        );
+    }
+
+    #[test]
+    fn machine_subcommand_prints_the_codec_form() {
+        let out = run(&args(&["machine", "perfect-club"]), "").unwrap();
+        assert!(out.starts_with("machine perfect-club-8fu"));
+        assert!(hrms_machine::parse_machine(&out).is_ok());
+    }
+
+    #[test]
+    fn usage_errors_have_exit_code_two() {
+        for case in [
+            vec!["schedule"],
+            vec!["schedule", "-", "--scheduler", "nope"],
+            vec!["schedule", "-", "--emit", "nope"],
+            vec!["schedule", "-", "--bogus"],
+            vec!["convert", "-"],
+            vec!["machine"],
+        ] {
+            let err = run(&args(&case), "loop l\nnode a op latency=1\nend\n").unwrap_err();
+            assert_eq!(err.code, 2, "case {case:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn data_errors_have_exit_code_one() {
+        let err = run(&args(&["schedule", "/no/such/file.loop"]), "").unwrap_err();
+        assert_eq!(err.code, 1);
+        let err = run(&args(&["schedule", "-"]), "loop broken\n").unwrap_err();
+        assert_eq!(err.code, 1);
+        let err = run(&args(&["machine", "no-such-preset"]), "").unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+}

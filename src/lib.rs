@@ -63,6 +63,9 @@ pub use hrms_modsched as modsched;
 pub use hrms_regalloc as regalloc;
 pub use hrms_workloads as workloads;
 
+pub mod cli;
+pub mod registry;
+
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use hrms_baselines::{

@@ -1,0 +1,186 @@
+//! Lossless round-trip guarantees of the on-disk formats (docs/FORMATS.md).
+//!
+//! Every corpus the project ships — the 24 Livermore-modelled reference
+//! loops, the paper's worked examples and 240 generated loops including the
+//! recurrence-heavy and interleaved stress presets — must survive
+//! `export → import` through both the `.loop` text format and the DOT
+//! format with an identical structural fingerprint. On top of that, a
+//! schedule computed from an imported loop must be byte-identical to one
+//! computed from the original, for all seven schedulers: the formats are
+//! only "lossless" if downstream results cannot tell the difference.
+
+use hrms_repro::ddg::{
+    ddg_fingerprint, dot, parse_loop, parse_loops, write_loop, write_loops, Ddg,
+};
+use hrms_repro::machine::{machine_fingerprint, parse_machine, presets, write_machine};
+use hrms_repro::prelude::*;
+use hrms_repro::registry::all_schedulers;
+use hrms_repro::workloads::synthetic;
+
+/// All loops of every shipped corpus, with 240 generated loops:
+/// 120 from the default generator, 60 recurrence-heavy, 60 interleaved.
+fn corpus() -> Vec<Ddg> {
+    let mut loops = reference24::all();
+    loops.push(motivating::figure1());
+    loops.extend(LoopGenerator::with_seed(2024).generate(120));
+    loops.extend(LoopGenerator::new(77, synthetic::recurrence_heavy_config(24)).generate(60));
+    loops.extend(LoopGenerator::new(78, synthetic::interleaved_recurrence_config(30)).generate(60));
+    loops
+}
+
+#[test]
+fn corpus_is_as_large_as_documented() {
+    assert_eq!(corpus().len(), 24 + 1 + 240);
+}
+
+#[test]
+fn text_format_round_trips_every_corpus_loop() {
+    for ddg in corpus() {
+        let text = write_loop(&ddg);
+        let back = parse_loop(&text)
+            .unwrap_or_else(|e| panic!("loop `{}` does not re-parse: {e}\n{text}", ddg.name()));
+        assert_eq!(
+            ddg_fingerprint(&back),
+            ddg_fingerprint(&ddg),
+            "loop `{}` changed across a text round trip",
+            ddg.name()
+        );
+        // The writer is deterministic: re-exporting the import is identical.
+        assert_eq!(write_loop(&back), text, "loop `{}`", ddg.name());
+    }
+}
+
+#[test]
+fn dot_format_round_trips_every_corpus_loop() {
+    for ddg in corpus() {
+        let rendered = dot::to_dot_default(&ddg);
+        let back = dot::from_dot(&rendered).unwrap_or_else(|e| {
+            panic!("loop `{}` does not re-import: {e}\n{rendered}", ddg.name())
+        });
+        assert_eq!(
+            ddg_fingerprint(&back),
+            ddg_fingerprint(&ddg),
+            "loop `{}` changed across a DOT round trip",
+            ddg.name()
+        );
+    }
+}
+
+#[test]
+fn multi_loop_files_round_trip_in_order() {
+    let loops = reference24::all();
+    let text = write_loops(&loops);
+    let back = parse_loops(&text).unwrap();
+    assert_eq!(back.len(), loops.len());
+    for (a, b) in loops.iter().zip(&back) {
+        assert_eq!(
+            ddg_fingerprint(a),
+            ddg_fingerprint(b),
+            "loop `{}`",
+            a.name()
+        );
+    }
+}
+
+#[test]
+fn machine_presets_round_trip_with_identical_fingerprints() {
+    for machine in presets::all() {
+        let text = write_machine(&machine);
+        let back = parse_machine(&text).unwrap();
+        assert_eq!(back, machine, "preset `{}`", machine.name());
+        assert_eq!(
+            machine_fingerprint(&back),
+            machine_fingerprint(&machine),
+            "preset `{}`",
+            machine.name()
+        );
+    }
+}
+
+/// The acceptance criterion of the formats work: schedules computed from
+/// imported loops are byte-identical to schedules computed from the
+/// originals, for every scheduler. Kernels are compared in their rendered
+/// (user-visible) form.
+#[test]
+fn imported_loops_schedule_byte_identically_for_all_schedulers() {
+    let machine = presets::govindarajan();
+    for ddg in reference24::all() {
+        let via_text = parse_loop(&write_loop(&ddg)).unwrap();
+        let via_dot = dot::from_dot(&dot::to_dot_default(&ddg)).unwrap();
+        for scheduler in all_schedulers() {
+            let original = scheduler.schedule_loop(&ddg, &machine).unwrap();
+            let reference = original.schedule.kernel().render(&ddg);
+            for (label, imported) in [("text", &via_text), ("dot", &via_dot)] {
+                let outcome = scheduler.schedule_loop(imported, &machine).unwrap();
+                assert_eq!(
+                    outcome.schedule,
+                    original.schedule,
+                    "scheduler `{}`, loop `{}`, via {label}",
+                    scheduler.name(),
+                    ddg.name()
+                );
+                assert_eq!(
+                    outcome.schedule.kernel().render(imported),
+                    reference,
+                    "scheduler `{}`, loop `{}`, via {label}",
+                    scheduler.name(),
+                    ddg.name()
+                );
+            }
+        }
+    }
+}
+
+/// Generated loops keep scheduling identically after a text round trip
+/// (HRMS only — the full 7-scheduler sweep above would be slow here).
+#[test]
+fn generated_loops_schedule_identically_after_import() {
+    let machine = presets::perfect_club();
+    let scheduler = HrmsScheduler::new();
+    let loops = corpus();
+    let imported: Vec<Ddg> = loops
+        .iter()
+        .map(|g| parse_loop(&write_loop(g)).unwrap())
+        .collect();
+    let engine = BatchEngine::new();
+    let a = engine.schedule_batch(&scheduler, &loops, &machine);
+    let b = engine.schedule_batch(&scheduler, &imported, &machine);
+    for ((a, b), ddg) in a.iter().zip(&b).zip(&loops) {
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.schedule, b.schedule, "loop `{}`", ddg.name());
+                assert_eq!(a.metrics, b.metrics, "loop `{}`", ddg.name());
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "loop `{}`", ddg.name());
+            }
+            (a, b) => panic!(
+                "loop `{}`: original {:?} but imported {:?}",
+                ddg.name(),
+                a.as_ref().map(|_| ()),
+                b.as_ref().map(|_| ())
+            ),
+        }
+    }
+}
+
+/// The shipped example file stays parseable and structurally equal to the
+/// reference inner-product loop shape it documents.
+#[test]
+fn shipped_example_loop_file_parses() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/loops/dotprod.loop"
+    ))
+    .unwrap();
+    let loops = parse_loops(&text).unwrap();
+    assert_eq!(loops.len(), 1);
+    let ddg = &loops[0];
+    assert_eq!(ddg.name(), "dotprod");
+    assert_eq!(ddg.num_nodes(), 4);
+    assert_eq!(ddg.num_edges(), 4);
+    assert!(ddg.has_recurrence());
+    // And it round-trips like everything else.
+    let back = parse_loop(&write_loop(ddg)).unwrap();
+    assert_eq!(ddg_fingerprint(&back), ddg_fingerprint(ddg));
+}
