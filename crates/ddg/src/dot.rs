@@ -15,7 +15,7 @@ use crate::builder::DdgBuilder;
 use crate::edge::DepKind;
 use crate::graph::Ddg;
 use crate::node::{NodeId, OpKind};
-use crate::textfmt::ParseError;
+use crate::textfmt::{LoopSpans, ParseError, Span};
 
 /// Options controlling [`to_dot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,68 +175,120 @@ impl Tok {
     }
 }
 
-/// Tokenizes the supported DOT subset, tracking line numbers.
-fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+/// Tracks the lexer's position: 1-based line and character column, byte
+/// offset into the whole input.
+#[derive(Debug, Clone, Copy)]
+struct Pos {
+    line: usize,
+    col: usize,
+    offset: usize,
+}
+
+impl Pos {
+    /// The span from `self` (inclusive) to `end` (exclusive), clamped to a
+    /// single line for rendering (multi-line strings point at their first
+    /// line).
+    fn until(self, end: Pos) -> Span {
+        let len = if end.line == self.line {
+            end.col.saturating_sub(self.col)
+        } else {
+            1
+        };
+        Span::new(self.line, self.col, self.offset, len.max(1))
+    }
+}
+
+/// The input's lines, for attaching source excerpts to errors.
+struct Src<'a> {
+    lines: Vec<&'a str>,
+}
+
+impl Src<'_> {
+    fn err(&self, span: Span, message: impl Into<String>) -> ParseError {
+        let line = self
+            .lines
+            .get(span.line.wrapping_sub(1))
+            .copied()
+            .unwrap_or("");
+        ParseError::at(span, line, message)
+    }
+}
+
+/// Tokenizes the supported DOT subset, tracking line/column/offset spans.
+fn lex<'a>(input: &'a str, src: &Src<'a>) -> Result<Vec<(Tok, Span)>, ParseError> {
     let mut toks = Vec::new();
-    let mut chars = input.chars().peekable();
-    let mut line = 1usize;
-    while let Some(&c) = chars.peek() {
-        match c {
-            '\n' => {
-                line += 1;
-                chars.next();
+    let mut chars = input.char_indices().peekable();
+    let mut pos = Pos {
+        line: 1,
+        col: 1,
+        offset: 0,
+    };
+    // Consumes one char, updating the position.
+    macro_rules! bump {
+        () => {{
+            let nxt = chars.next();
+            if let Some((i, c)) = nxt {
+                pos.offset = i + c.len_utf8();
+                if c == '\n' {
+                    pos.line += 1;
+                    pos.col = 1;
+                } else {
+                    pos.col += 1;
+                }
             }
+            nxt.map(|(_, c)| c)
+        }};
+    }
+    while let Some(&(_, c)) = chars.peek() {
+        let start = pos;
+        match c {
             c if c.is_whitespace() => {
-                chars.next();
+                bump!();
             }
             '#' => {
                 // Shell-style comment (also covers C preprocessor lines).
-                while let Some(&c) = chars.peek() {
+                while let Some(&(_, c)) = chars.peek() {
                     if c == '\n' {
                         break;
                     }
-                    chars.next();
+                    bump!();
                 }
             }
             '/' => {
-                chars.next();
-                match chars.peek() {
+                bump!();
+                match chars.peek().map(|&(_, c)| c) {
                     Some('/') => {
-                        while let Some(&c) = chars.peek() {
+                        while let Some(&(_, c)) = chars.peek() {
                             if c == '\n' {
                                 break;
                             }
-                            chars.next();
+                            bump!();
                         }
                     }
                     Some('*') => {
-                        chars.next();
+                        bump!();
                         let mut prev = ' ';
                         loop {
-                            match chars.next() {
+                            match bump!() {
                                 None => {
-                                    return Err(ParseError::new(line, "unterminated /* comment"))
-                                }
-                                Some('\n') => {
-                                    line += 1;
-                                    prev = '\n';
+                                    return Err(src.err(start.until(pos), "unterminated /* comment"))
                                 }
                                 Some('/') if prev == '*' => break,
                                 Some(c) => prev = c,
                             }
                         }
                     }
-                    _ => return Err(ParseError::new(line, "unexpected `/`")),
+                    _ => return Err(src.err(start.until(pos), "unexpected `/`")),
                 }
             }
             '"' => {
-                chars.next();
+                bump!();
                 let mut s = String::new();
                 loop {
-                    match chars.next() {
-                        None => return Err(ParseError::new(line, "unterminated string")),
+                    match bump!() {
+                        None => return Err(src.err(start.until(pos), "unterminated string")),
                         Some('"') => break,
-                        Some('\\') => match chars.next() {
+                        Some('\\') => match bump!() {
                             Some('\\') => s.push('\\'),
                             Some('"') => s.push('"'),
                             Some('n') => s.push('\n'),
@@ -247,74 +299,77 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                                 s.push('\\');
                                 s.push(other);
                             }
-                            None => return Err(ParseError::new(line, "unterminated string")),
+                            None => return Err(src.err(start.until(pos), "unterminated string")),
                         },
-                        Some('\n') => {
-                            line += 1;
-                            s.push('\n');
-                        }
                         Some(c) => s.push(c),
                     }
                 }
-                toks.push((Tok::Str(s), line));
+                toks.push((Tok::Str(s), start.until(pos)));
             }
             '{' | '}' | '[' | ']' | '=' | ';' | ',' => {
-                chars.next();
-                toks.push((Tok::Punct(c), line));
+                bump!();
+                toks.push((Tok::Punct(c), start.until(pos)));
             }
             '-' => {
-                chars.next();
-                match chars.next() {
-                    Some('>') => toks.push((Tok::Arrow, line)),
+                bump!();
+                match bump!() {
+                    Some('>') => toks.push((Tok::Arrow, start.until(pos))),
                     Some('-') => {
-                        return Err(ParseError::new(
-                            line,
+                        return Err(src.err(
+                            start.until(pos),
                             "undirected edges (`--`) are not dependence edges; use a digraph",
                         ))
                     }
-                    _ => return Err(ParseError::new(line, "unexpected `-`")),
+                    _ => return Err(src.err(start.until(pos), "unexpected `-`")),
                 }
             }
             c if c.is_alphanumeric() || c == '_' || c == '.' => {
                 let mut s = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(&(_, c)) = chars.peek() {
                     if c.is_alphanumeric() || c == '_' || c == '.' {
                         s.push(c);
-                        chars.next();
+                        bump!();
                     } else {
                         break;
                     }
                 }
-                toks.push((Tok::Id(s), line));
+                toks.push((Tok::Id(s), start.until(pos)));
             }
             other => {
-                return Err(ParseError::new(
-                    line,
-                    format!("unexpected character `{other}`"),
-                ));
+                bump!();
+                return Err(src.err(start.until(pos), format!("unexpected character `{other}`")));
             }
         }
     }
     Ok(toks)
 }
 
-/// Key/value attribute list parsed from `[...]`.
-type Attrs = Vec<(String, String)>;
+/// Key/value attribute list parsed from `[...]`; the span points at the
+/// attribute's value token.
+type Attrs = Vec<(String, String, Span)>;
 
 fn find_attr<'a>(attrs: &'a Attrs, key: &str) -> Option<&'a str> {
     attrs
         .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v.as_str())
+        .find(|(k, _, _)| k == key)
+        .map(|(_, v, _)| v.as_str())
+}
+
+fn find_attr_span<'a>(attrs: &'a Attrs, key: &str) -> Option<(&'a str, Span)> {
+    attrs
+        .iter()
+        .find(|(k, _, _)| k == key)
+        .map(|(_, v, s)| (v.as_str(), *s))
 }
 
 /// Cursor over the token stream.
-struct Cursor {
-    toks: Vec<(Tok, usize)>,
+struct Cursor<'a> {
+    toks: Vec<(Tok, Span)>,
     pos: usize,
+    src: Src<'a>,
 }
 
-impl Cursor {
+impl Cursor<'_> {
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos).map(|(t, _)| t)
     }
@@ -322,7 +377,18 @@ impl Cursor {
     fn line(&self) -> usize {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map_or(0, |&(_, l)| l)
+            .map_or(0, |&(_, s)| s.line)
+    }
+
+    /// Span of the current token (or of the last token at end of input).
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(Span::new(0, 1, 0, 1), |&(_, s)| s)
+    }
+
+    fn err(&self, span: Span, message: impl Into<String>) -> ParseError {
+        self.src.err(span, message)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -341,13 +407,13 @@ impl Cursor {
     }
 
     fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        let span = self.span();
         let line = self.line();
         match self.next() {
             Some(Tok::Punct(p)) if p == c => Ok(()),
-            Some(other) => Err(ParseError::new(
-                line,
-                format!("expected `{c}`, found {}", other.describe()),
-            )),
+            Some(other) => {
+                Err(self.err(span, format!("expected `{c}`, found {}", other.describe())))
+            }
             None => Err(ParseError::new(
                 line,
                 format!("expected `{c}`, found end of input"),
@@ -364,24 +430,26 @@ impl Cursor {
                 if self.eat_punct(']') {
                     break;
                 }
+                let span = self.span();
                 let line = self.line();
                 let key = match self.next() {
                     Some(t) => t
                         .value()
                         .map(str::to_string)
-                        .ok_or_else(|| ParseError::new(line, "expected an attribute name"))?,
+                        .ok_or_else(|| self.err(span, "expected an attribute name"))?,
                     None => return Err(ParseError::new(line, "unterminated attribute list")),
                 };
                 self.expect_punct('=')?;
+                let vspan = self.span();
                 let line = self.line();
                 let value = match self.next() {
                     Some(t) => t
                         .value()
                         .map(str::to_string)
-                        .ok_or_else(|| ParseError::new(line, "expected an attribute value"))?,
+                        .ok_or_else(|| self.err(vspan, "expected an attribute value"))?,
                     None => return Err(ParseError::new(line, "unterminated attribute list")),
                 };
-                attrs.push((key, value));
+                attrs.push((key, value, vspan));
                 // Separators between attributes are optional in DOT.
                 let _ = self.eat_punct(',') || self.eat_punct(';');
             }
@@ -397,11 +465,18 @@ struct PendingNode {
     latency: u32,
     no_result: bool,
     invariant_uses: u32,
+    /// Span of the statement that introduced the node.
+    span: Span,
 }
 
 /// Parses the node-defining attributes (falling back to the label when the
 /// `hrms_*` metadata is absent).
-fn node_from_attrs(dot_id: &str, attrs: &Attrs, line: usize) -> Result<PendingNode, ParseError> {
+fn node_from_attrs(
+    dot_id: &str,
+    attrs: &Attrs,
+    stmt_span: Span,
+    src: &Src<'_>,
+) -> Result<PendingNode, ParseError> {
     let label = find_attr(attrs, "label");
     // `label="name\nkind λ=N"` — the exporter's presentational encoding.
     let (label_name, label_kind, label_latency) = match label {
@@ -435,22 +510,22 @@ fn node_from_attrs(dot_id: &str, attrs: &Attrs, line: usize) -> Result<PendingNo
         .map(str::to_string)
         .or(label_name)
         .unwrap_or_else(|| dot_id.to_string());
-    let kind = match find_attr(attrs, "hrms_kind") {
-        Some(k) => OpKind::from_mnemonic(k)
-            .ok_or_else(|| ParseError::new(line, format!("unknown operation kind `{k}`")))?,
+    let kind = match find_attr_span(attrs, "hrms_kind") {
+        Some((k, span)) => OpKind::from_mnemonic(k)
+            .ok_or_else(|| src.err(span, format!("unknown operation kind `{k}`")))?,
         None => label_kind.unwrap_or(OpKind::Other),
     };
-    let latency = match find_attr(attrs, "hrms_latency") {
-        Some(v) => v
+    let latency = match find_attr_span(attrs, "hrms_latency") {
+        Some((v, span)) => v
             .parse()
-            .map_err(|_| ParseError::new(line, format!("invalid hrms_latency `{v}`")))?,
+            .map_err(|_| src.err(span, format!("invalid hrms_latency `{v}`")))?,
         None => label_latency.unwrap_or(1),
     };
     let no_result = find_attr(attrs, "hrms_no_result") == Some("true");
-    let invariant_uses = match find_attr(attrs, "hrms_invariant_uses") {
-        Some(v) => v
+    let invariant_uses = match find_attr_span(attrs, "hrms_invariant_uses") {
+        Some((v, span)) => v
             .parse()
-            .map_err(|_| ParseError::new(line, format!("invalid hrms_invariant_uses `{v}`")))?,
+            .map_err(|_| src.err(span, format!("invalid hrms_invariant_uses `{v}`")))?,
         None => 0,
     };
     Ok(PendingNode {
@@ -459,7 +534,236 @@ fn node_from_attrs(dot_id: &str, attrs: &Attrs, line: usize) -> Result<PendingNo
         latency,
         no_result,
         invariant_uses,
+        span: stmt_span,
     })
+}
+
+/// Parses a DOT digraph into a dependence graph, also returning the source
+/// span of every node- and edge-introducing statement (see
+/// [`crate::textfmt::LoopSpans`]; nodes first referenced inside an edge
+/// statement get that statement's span).
+///
+/// # Errors
+///
+/// Same as [`from_dot`].
+pub fn from_dot_with_spans(input: &str) -> Result<(Ddg, LoopSpans), ParseError> {
+    let src = Src {
+        lines: input.lines().collect(),
+    };
+    let toks = lex(input, &src)?;
+    let mut cur = Cursor { toks, pos: 0, src };
+
+    // Header: [strict] digraph [name] {
+    let header_span = cur.span();
+    let line = cur.line();
+    match cur.next() {
+        Some(Tok::Id(id)) if id == "strict" => match cur.next() {
+            Some(Tok::Id(id)) if id == "digraph" => {}
+            _ => return Err(cur.err(header_span, "expected `digraph`")),
+        },
+        Some(Tok::Id(id)) if id == "digraph" => {}
+        Some(Tok::Id(id)) if id == "graph" => {
+            return Err(cur.err(
+                header_span,
+                "undirected `graph` inputs are not dependence graphs; use `digraph`",
+            ))
+        }
+        Some(other) => {
+            return Err(cur.err(
+                header_span,
+                format!("expected `digraph`, found {}", other.describe()),
+            ))
+        }
+        None => {
+            return Err(ParseError::new(
+                line,
+                "expected `digraph`, found end of input",
+            ))
+        }
+    }
+    let name = match cur.peek() {
+        Some(Tok::Punct('{')) => "imported".to_string(),
+        _ => {
+            let span = cur.span();
+            let line = cur.line();
+            match cur.next() {
+                Some(t) => t
+                    .value()
+                    .map(str::to_string)
+                    .ok_or_else(|| cur.err(span, "expected a graph name or `{`"))?,
+                None => {
+                    return Err(ParseError::new(line, "expected a graph name or `{`"));
+                }
+            }
+        }
+    };
+    cur.expect_punct('{')?;
+
+    let mut nodes: Vec<PendingNode> = Vec::new();
+    let mut ids: Vec<(String, usize)> = Vec::new(); // dot id -> node index
+    let mut edges: Vec<(usize, usize, DepKind, u32, Span)> = Vec::new();
+    let mut invariants: Option<u32> = None;
+    let mut iterations: Option<u64> = None;
+
+    // Creates-or-finds the node for a DOT id referenced by an edge.
+    fn intern(
+        ids: &mut Vec<(String, usize)>,
+        nodes: &mut Vec<PendingNode>,
+        id: &str,
+        span: Span,
+    ) -> usize {
+        if let Some(&(_, i)) = ids.iter().find(|(n, _)| n == id) {
+            return i;
+        }
+        let i = nodes.len();
+        nodes.push(PendingNode {
+            name: id.to_string(),
+            kind: OpKind::Other,
+            latency: 1,
+            no_result: false,
+            invariant_uses: 0,
+            span,
+        });
+        ids.push((id.to_string(), i));
+        i
+    }
+
+    loop {
+        let stmt_span = cur.span();
+        let line = cur.line();
+        let tok = cur
+            .next()
+            .ok_or_else(|| ParseError::new(line, "unterminated digraph (missing `}`)"))?;
+        match tok {
+            Tok::Punct('}') => break,
+            Tok::Punct(';') => continue,
+            Tok::Id(ref id) if id == "subgraph" => {
+                return Err(cur.err(stmt_span, "subgraphs are not supported"));
+            }
+            Tok::Id(ref id)
+                if (id == "graph" || id == "node" || id == "edge")
+                    && cur.peek() == Some(&Tok::Punct('[')) =>
+            {
+                let attrs = cur.attrs()?;
+                if id == "graph" {
+                    if let Some((v, span)) = find_attr_span(&attrs, "hrms_invariants") {
+                        invariants = Some(v.parse().map_err(|_| {
+                            cur.err(span, format!("invalid hrms_invariants `{v}`"))
+                        })?);
+                    }
+                    if let Some((v, span)) = find_attr_span(&attrs, "hrms_iterations") {
+                        iterations = Some(v.parse().map_err(|_| {
+                            cur.err(span, format!("invalid hrms_iterations `{v}`"))
+                        })?);
+                    }
+                }
+                // Other default attributes (shape, fontname, ...) are
+                // presentational; ignore them.
+            }
+            Tok::Id(_) | Tok::Str(_) => {
+                let dot_id = tok.value().expect("id or string").to_string();
+                if cur.eat_punct('=') {
+                    // Top-level `key=value;` graph attribute (rankdir=TB).
+                    let span = cur.span();
+                    cur.next()
+                        .and_then(|t| t.value().map(str::to_string))
+                        .ok_or_else(|| cur.err(span, "expected an attribute value"))?;
+                    continue;
+                }
+                if cur.peek() == Some(&Tok::Arrow) {
+                    // Edge statement (possibly a chain a -> b -> c).
+                    let mut chain = vec![intern(&mut ids, &mut nodes, &dot_id, stmt_span)];
+                    while cur.peek() == Some(&Tok::Arrow) {
+                        cur.next();
+                        let span = cur.span();
+                        let target = cur
+                            .next()
+                            .and_then(|t| t.value().map(str::to_string))
+                            .ok_or_else(|| cur.err(span, "expected an edge target"))?;
+                        chain.push(intern(&mut ids, &mut nodes, &target, span));
+                    }
+                    let attrs = cur.attrs()?;
+                    let kind = match find_attr_span(&attrs, "hrms_kind") {
+                        Some((k, span)) => DepKind::from_label(k).ok_or_else(|| {
+                            cur.err(span, format!("unknown dependence kind `{k}`"))
+                        })?,
+                        None => find_attr(&attrs, "label")
+                            .and_then(|l| l.split_whitespace().next().and_then(DepKind::from_label))
+                            .unwrap_or(DepKind::RegFlow),
+                    };
+                    let distance = match find_attr_span(&attrs, "hrms_distance") {
+                        Some((v, span)) => v
+                            .parse()
+                            .map_err(|_| cur.err(span, format!("invalid hrms_distance `{v}`")))?,
+                        None => find_attr(&attrs, "label")
+                            .and_then(|l| {
+                                l.split_whitespace()
+                                    .find_map(|w| w.strip_prefix("δ="))
+                                    .and_then(|v| v.parse().ok())
+                            })
+                            .unwrap_or(0),
+                    };
+                    for pair in chain.windows(2) {
+                        edges.push((pair[0], pair[1], kind, distance, stmt_span));
+                    }
+                } else {
+                    // Node statement.
+                    let attrs = cur.attrs()?;
+                    let pending = node_from_attrs(&dot_id, &attrs, stmt_span, &cur.src)?;
+                    let idx = intern(&mut ids, &mut nodes, &dot_id, stmt_span);
+                    nodes[idx] = pending;
+                }
+            }
+            other => {
+                return Err(cur.err(stmt_span, format!("unexpected {}", other.describe())));
+            }
+        }
+    }
+    if let Some(tok) = cur.next() {
+        return Err(ParseError::new(
+            cur.line(),
+            format!("trailing {} after closing `}}`", tok.describe()),
+        ));
+    }
+
+    let mut b = DdgBuilder::new(name);
+    let mut node_ids: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    let mut node_spans: Vec<Span> = Vec::with_capacity(nodes.len());
+    for n in &nodes {
+        let id = if n.no_result {
+            b.node_no_result(n.name.clone(), n.kind, n.latency)
+        } else {
+            b.node(n.name.clone(), n.kind, n.latency)
+        };
+        if n.invariant_uses > 0 {
+            b.node_invariant_uses(id, n.invariant_uses);
+        }
+        node_ids.push(id);
+        node_spans.push(n.span);
+    }
+    let mut edge_spans: Vec<Span> = Vec::with_capacity(edges.len());
+    for &(s, t, kind, dist, span) in &edges {
+        b.edge(node_ids[s], node_ids[t], kind, dist)
+            .map_err(|e| cur.src.err(span, format!("invalid edge: {e}")))?;
+        edge_spans.push(span);
+    }
+    if let Some(inv) = invariants {
+        b.invariants(inv);
+    }
+    if let Some(it) = iterations {
+        b.iteration_count(it);
+    }
+    let ddg = b
+        .build()
+        .map_err(|e| ParseError::new(0, format!("invalid graph: {e}")))?;
+    Ok((
+        ddg,
+        LoopSpans {
+            header: header_span,
+            nodes: node_spans,
+            edges: edge_spans,
+        },
+    ))
 }
 
 /// Parses a DOT digraph into a dependence graph.
@@ -475,199 +779,13 @@ fn node_from_attrs(dot_id: &str, attrs: &Attrs, line: usize) -> Result<PendingNo
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] with a 1-based line number on lexical or
+/// Returns a [`ParseError`] — with a 1-based line number, and column plus
+/// source excerpt where the error is tied to a token — on lexical or
 /// syntactic errors, unsupported constructs (`graph`/`subgraph`, `--`
 /// edges), invalid `hrms_*` metadata, or when the resulting graph fails
 /// [`DdgBuilder::build`] validation.
 pub fn from_dot(input: &str) -> Result<Ddg, ParseError> {
-    let mut cur = Cursor {
-        toks: lex(input)?,
-        pos: 0,
-    };
-
-    // Header: [strict] digraph [name] {
-    let line = cur.line();
-    match cur.next() {
-        Some(Tok::Id(id)) if id == "strict" => match cur.next() {
-            Some(Tok::Id(id)) if id == "digraph" => {}
-            _ => return Err(ParseError::new(line, "expected `digraph`")),
-        },
-        Some(Tok::Id(id)) if id == "digraph" => {}
-        Some(Tok::Id(id)) if id == "graph" => {
-            return Err(ParseError::new(
-                line,
-                "undirected `graph` inputs are not dependence graphs; use `digraph`",
-            ))
-        }
-        other => {
-            return Err(ParseError::new(
-                line,
-                format!(
-                    "expected `digraph`, found {}",
-                    other.map_or("end of input".to_string(), |t| t.describe())
-                ),
-            ))
-        }
-    }
-    let name = match cur.peek() {
-        Some(Tok::Punct('{')) => "imported".to_string(),
-        _ => {
-            let line = cur.line();
-            cur.next()
-                .and_then(|t| t.value().map(str::to_string))
-                .ok_or_else(|| ParseError::new(line, "expected a graph name or `{`"))?
-        }
-    };
-    cur.expect_punct('{')?;
-
-    let mut nodes: Vec<PendingNode> = Vec::new();
-    let mut ids: Vec<(String, usize)> = Vec::new(); // dot id -> node index
-    let mut edges: Vec<(usize, usize, DepKind, u32)> = Vec::new();
-    let mut invariants: Option<u32> = None;
-    let mut iterations: Option<u64> = None;
-
-    // Creates-or-finds the node for a DOT id referenced by an edge.
-    fn intern(ids: &mut Vec<(String, usize)>, nodes: &mut Vec<PendingNode>, id: &str) -> usize {
-        if let Some(&(_, i)) = ids.iter().find(|(n, _)| n == id) {
-            return i;
-        }
-        let i = nodes.len();
-        nodes.push(PendingNode {
-            name: id.to_string(),
-            kind: OpKind::Other,
-            latency: 1,
-            no_result: false,
-            invariant_uses: 0,
-        });
-        ids.push((id.to_string(), i));
-        i
-    }
-
-    loop {
-        let line = cur.line();
-        let tok = cur
-            .next()
-            .ok_or_else(|| ParseError::new(line, "unterminated digraph (missing `}`)"))?;
-        match tok {
-            Tok::Punct('}') => break,
-            Tok::Punct(';') => continue,
-            Tok::Id(ref id) if id == "subgraph" => {
-                return Err(ParseError::new(line, "subgraphs are not supported"));
-            }
-            Tok::Id(ref id)
-                if (id == "graph" || id == "node" || id == "edge")
-                    && cur.peek() == Some(&Tok::Punct('[')) =>
-            {
-                let attrs = cur.attrs()?;
-                if id == "graph" {
-                    if let Some(v) = find_attr(&attrs, "hrms_invariants") {
-                        invariants = Some(v.parse().map_err(|_| {
-                            ParseError::new(line, format!("invalid hrms_invariants `{v}`"))
-                        })?);
-                    }
-                    if let Some(v) = find_attr(&attrs, "hrms_iterations") {
-                        iterations = Some(v.parse().map_err(|_| {
-                            ParseError::new(line, format!("invalid hrms_iterations `{v}`"))
-                        })?);
-                    }
-                }
-                // Other default attributes (shape, fontname, ...) are
-                // presentational; ignore them.
-            }
-            Tok::Id(_) | Tok::Str(_) => {
-                let dot_id = tok.value().expect("id or string").to_string();
-                if cur.eat_punct('=') {
-                    // Top-level `key=value;` graph attribute (rankdir=TB).
-                    let line = cur.line();
-                    cur.next()
-                        .and_then(|t| t.value().map(str::to_string))
-                        .ok_or_else(|| ParseError::new(line, "expected an attribute value"))?;
-                    continue;
-                }
-                if cur.peek() == Some(&Tok::Arrow) {
-                    // Edge statement (possibly a chain a -> b -> c).
-                    let mut chain = vec![intern(&mut ids, &mut nodes, &dot_id)];
-                    while cur.peek() == Some(&Tok::Arrow) {
-                        cur.next();
-                        let line = cur.line();
-                        let target = cur
-                            .next()
-                            .and_then(|t| t.value().map(str::to_string))
-                            .ok_or_else(|| ParseError::new(line, "expected an edge target"))?;
-                        chain.push(intern(&mut ids, &mut nodes, &target));
-                    }
-                    let attrs = cur.attrs()?;
-                    let kind = match find_attr(&attrs, "hrms_kind") {
-                        Some(k) => DepKind::from_label(k).ok_or_else(|| {
-                            ParseError::new(line, format!("unknown dependence kind `{k}`"))
-                        })?,
-                        None => find_attr(&attrs, "label")
-                            .and_then(|l| l.split_whitespace().next().and_then(DepKind::from_label))
-                            .unwrap_or(DepKind::RegFlow),
-                    };
-                    let distance = match find_attr(&attrs, "hrms_distance") {
-                        Some(v) => v.parse().map_err(|_| {
-                            ParseError::new(line, format!("invalid hrms_distance `{v}`"))
-                        })?,
-                        None => find_attr(&attrs, "label")
-                            .and_then(|l| {
-                                l.split_whitespace()
-                                    .find_map(|w| w.strip_prefix("δ="))
-                                    .and_then(|v| v.parse().ok())
-                            })
-                            .unwrap_or(0),
-                    };
-                    for pair in chain.windows(2) {
-                        edges.push((pair[0], pair[1], kind, distance));
-                    }
-                } else {
-                    // Node statement.
-                    let attrs = cur.attrs()?;
-                    let pending = node_from_attrs(&dot_id, &attrs, line)?;
-                    let idx = intern(&mut ids, &mut nodes, &dot_id);
-                    nodes[idx] = pending;
-                }
-            }
-            other => {
-                return Err(ParseError::new(
-                    line,
-                    format!("unexpected {}", other.describe()),
-                ));
-            }
-        }
-    }
-    if let Some(tok) = cur.next() {
-        return Err(ParseError::new(
-            cur.line(),
-            format!("trailing {} after closing `}}`", tok.describe()),
-        ));
-    }
-
-    let mut b = DdgBuilder::new(name);
-    let mut node_ids: Vec<NodeId> = Vec::with_capacity(nodes.len());
-    for n in &nodes {
-        let id = if n.no_result {
-            b.node_no_result(n.name.clone(), n.kind, n.latency)
-        } else {
-            b.node(n.name.clone(), n.kind, n.latency)
-        };
-        if n.invariant_uses > 0 {
-            b.node_invariant_uses(id, n.invariant_uses);
-        }
-        node_ids.push(id);
-    }
-    for &(s, t, kind, dist) in &edges {
-        b.edge(node_ids[s], node_ids[t], kind, dist)
-            .map_err(|e| ParseError::new(0, format!("invalid edge: {e}")))?;
-    }
-    if let Some(inv) = invariants {
-        b.invariants(inv);
-    }
-    if let Some(it) = iterations {
-        b.iteration_count(it);
-    }
-    b.build()
-        .map_err(|e| ParseError::new(0, format!("invalid graph: {e}")))
+    from_dot_with_spans(input).map(|(ddg, _)| ddg)
 }
 
 #[cfg(test)]
@@ -838,6 +956,28 @@ mod tests {
                 "{input:?}: expected {needle:?} in `{err}`"
             );
         }
+    }
+
+    #[test]
+    fn import_errors_carry_spans_and_excerpts() {
+        let input = "digraph g {\n  a [hrms_kind=zzz];\n}\n";
+        let err = from_dot(input).unwrap_err();
+        let span = err.span.expect("metadata errors carry spans");
+        assert_eq!((span.line, span.col), (2, 16));
+        assert_eq!(&input[span.offset..span.offset + span.len], "zzz");
+        assert!(err.to_string().contains("|  "), "excerpt rendered: {err}");
+    }
+
+    #[test]
+    fn with_spans_tracks_node_and_edge_statements() {
+        let input = "digraph g {\n  a [hrms_kind=load, hrms_latency=2];\n  a -> b;\n}\n";
+        let (g, spans) = from_dot_with_spans(input).unwrap();
+        assert_eq!(spans.header.line, 1);
+        assert_eq!(spans.nodes.len(), g.num_nodes());
+        assert_eq!(spans.edges.len(), g.num_edges());
+        assert_eq!(spans.nodes[0].line, 2, "node a declared on line 2");
+        assert_eq!(spans.nodes[1].line, 3, "node b interned by the edge");
+        assert_eq!(spans.edges[0].line, 3);
     }
 
     #[test]

@@ -87,5 +87,8 @@ pub use graph::{chain, Ddg, DdgSummary, GraphView};
 pub use node::{Node, NodeId, OpKind};
 pub use paths::search_all_paths;
 pub use recurrence::{CrossCheckReport, RecurrenceGroup, RecurrenceGroupKind, RecurrenceGroups};
-pub use textfmt::{parse_loop, parse_loops, write_loop, write_loops, ParseError};
+pub use textfmt::{
+    parse_loop, parse_loops, parse_loops_with_spans, write_loop, write_loops, LoopSpans,
+    ParseError, Span,
+};
 pub use topo::{sort_asap, sort_pala, CycleError, Direction, TopoLevels};

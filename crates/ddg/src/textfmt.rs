@@ -27,6 +27,12 @@
 //! is [`crate::fingerprint::ddg_fingerprint`]-identical to its source
 //! (pinned by `tests/format_roundtrip.rs` over every corpus in the
 //! workspace).
+//!
+//! Every parse failure carries a [`Span`] — the byte offset, line and
+//! column of the offending token — and [`parse_loops_with_spans`]
+//! additionally records the source span of every parsed node and edge, so
+//! downstream tooling (the `hrms-verify` lint pass) can point semantic
+//! diagnostics back at the input file.
 
 use std::error::Error;
 use std::fmt;
@@ -37,7 +43,37 @@ use crate::edge::DepKind;
 use crate::graph::Ddg;
 use crate::node::{NodeId, OpKind};
 
-/// A parse failure, with the 1-based line it occurred on.
+/// A contiguous region of an input file: where a token, line or construct
+/// came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based character column of the span's first character.
+    pub col: usize,
+    /// Byte offset of the span's first character in the whole input.
+    pub offset: usize,
+    /// Length of the span in characters (for caret rendering; at least 1
+    /// for non-empty spans).
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering `len` characters starting at `line`:`col` /
+    /// byte `offset`.
+    pub fn new(line: usize, col: usize, offset: usize, len: usize) -> Self {
+        Span {
+            line,
+            col,
+            offset,
+            len,
+        }
+    }
+}
+
+/// A parse failure, with the 1-based line it occurred on and (when the
+/// error is tied to a specific token or line) the [`Span`] and source
+/// excerpt of the offending input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number in the input (0 when the error is not tied to a
@@ -45,29 +81,72 @@ pub struct ParseError {
     pub line: usize,
     /// Human-readable description.
     pub message: String,
+    /// Precise location of the offending token, when known.
+    pub span: Option<Span>,
+    /// The full text of the offending line (without its trailing newline),
+    /// rendered under the message with a caret marking the span.
+    pub source_line: Option<String>,
 }
 
 impl ParseError {
-    /// Creates a parse error pinned to a 1-based line (0 = whole input).
+    /// Creates a parse error pinned to a 1-based line (0 = whole input),
+    /// with no span information.
     pub fn new(line: usize, message: impl Into<String>) -> Self {
         ParseError {
             line,
             message: message.into(),
+            span: None,
+            source_line: None,
+        }
+    }
+
+    /// Creates a parse error at `span`, carrying `source_line` (the text of
+    /// the offending line) for the rendered excerpt.
+    pub fn at(span: Span, source_line: &str, message: impl Into<String>) -> Self {
+        ParseError {
+            line: span.line,
+            message: message.into(),
+            span: Some(span),
+            source_line: Some(source_line.trim_end().to_string()),
         }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line == 0 {
-            write!(f, "{}", self.message)
-        } else {
-            write!(f, "line {}: {}", self.line, self.message)
+        match &self.span {
+            None if self.line == 0 => write!(f, "{}", self.message)?,
+            None => write!(f, "line {}: {}", self.line, self.message)?,
+            Some(span) => write!(f, "line {}, col {}: {}", span.line, span.col, self.message)?,
         }
+        if let (Some(span), Some(src)) = (&self.span, &self.source_line) {
+            write!(f, "\n  |  {src}\n  |  ")?;
+            for _ in 1..span.col {
+                f.write_char(' ')?;
+            }
+            for _ in 0..span.len.max(1) {
+                f.write_char('^')?;
+            }
+        }
+        Ok(())
     }
 }
 
 impl Error for ParseError {}
+
+/// Source spans of one parsed `loop ... end` block, indexed like the graph
+/// itself: `nodes[i]` is the span of the line that declared node `i`,
+/// `edges[i]` the span of the line that declared edge `i` (declaration
+/// order equals [`NodeId`]/`EdgeId` order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSpans {
+    /// The `loop` header line.
+    pub header: Span,
+    /// One span per node, in [`NodeId`] order.
+    pub nodes: Vec<Span>,
+    /// One span per edge, in `EdgeId` order.
+    pub edges: Vec<Span>,
+}
 
 /// Whether a name can be written without quotes: ASCII alphanumerics plus
 /// `_`, `.`, `-` and `$`, not starting with a digit or `-`, and not a
@@ -178,56 +257,202 @@ impl Token {
     }
 }
 
+/// A token plus where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SpTok {
+    tok: Token,
+    span: Span,
+}
+
+impl SpTok {
+    /// The word's text. Only meaningful for [`Token::Word`] tokens; callers
+    /// go through [`word`] first.
+    fn text(&self) -> &str {
+        match &self.tok {
+            Token::Word(w, _) => w,
+            Token::Arrow => "->",
+        }
+    }
+}
+
+/// The location context of the line being parsed: its text, 1-based number
+/// and the byte offset of its first character in the whole input.
+#[derive(Debug, Clone, Copy)]
+struct LineCtx<'a> {
+    line: &'a str,
+    lineno: usize,
+    base: usize,
+}
+
+impl LineCtx<'_> {
+    /// A span covering the line's non-blank content.
+    fn span_all(&self) -> Span {
+        let lead_bytes = self.line.len() - self.line.trim_start().len();
+        let lead_chars = self.line.chars().take_while(|c| c.is_whitespace()).count();
+        let content = self.line.trim();
+        Span {
+            line: self.lineno,
+            col: lead_chars + 1,
+            offset: self.base + lead_bytes,
+            len: content.chars().count().max(1),
+        }
+    }
+
+    /// An error covering the whole line.
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::at(self.span_all(), self.line, message)
+    }
+
+    /// An error pinned to `span`.
+    fn err_at(&self, span: Span, message: impl Into<String>) -> ParseError {
+        ParseError::at(span, self.line, message)
+    }
+}
+
 /// Splits one line into tokens, honouring quotes and `#` comments.
-fn tokenize(line: &str, lineno: usize) -> Result<Vec<Token>, ParseError> {
+fn tokenize(ctx: &LineCtx<'_>) -> Result<Vec<SpTok>, ParseError> {
     let mut tokens = Vec::new();
-    let mut chars = line.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    let mut chars = ctx.line.char_indices().peekable();
+    let mut col = 1usize;
+    while let Some(&(i, c)) = chars.peek() {
         if c.is_whitespace() {
             chars.next();
+            col += 1;
         } else if c == '#' {
             break;
         } else if c == '"' {
+            let (start, start_col) = (i, col);
             chars.next();
+            col += 1;
             let mut word = String::new();
             loop {
                 match chars.next() {
-                    None => return Err(ParseError::new(lineno, "unterminated string")),
-                    Some('"') => break,
-                    Some('\\') => match chars.next() {
-                        Some('\\') => word.push('\\'),
-                        Some('"') => word.push('"'),
-                        Some('n') => word.push('\n'),
-                        Some('t') => word.push('\t'),
-                        Some(other) => {
-                            return Err(ParseError::new(
-                                lineno,
-                                format!("unknown escape `\\{other}` in string"),
-                            ))
+                    None => {
+                        let span =
+                            Span::new(ctx.lineno, start_col, ctx.base + start, col - start_col);
+                        return Err(ctx.err_at(span, "unterminated string"));
+                    }
+                    Some((_, '"')) => {
+                        col += 1;
+                        break;
+                    }
+                    Some((_, '\\')) => {
+                        col += 1;
+                        match chars.next() {
+                            Some((_, '\\')) => word.push('\\'),
+                            Some((_, '"')) => word.push('"'),
+                            Some((_, 'n')) => word.push('\n'),
+                            Some((_, 't')) => word.push('\t'),
+                            Some((j, other)) => {
+                                let span = Span::new(ctx.lineno, col - 1, ctx.base + j - 1, 2);
+                                return Err(ctx.err_at(
+                                    span,
+                                    format!("unknown escape `\\{other}` in string"),
+                                ));
+                            }
+                            None => {
+                                let span = Span::new(
+                                    ctx.lineno,
+                                    start_col,
+                                    ctx.base + start,
+                                    col - start_col,
+                                );
+                                return Err(ctx.err_at(span, "unterminated string"));
+                            }
                         }
-                        None => return Err(ParseError::new(lineno, "unterminated string")),
-                    },
-                    Some(ch) => word.push(ch),
+                        col += 1;
+                    }
+                    Some((_, ch)) => {
+                        col += 1;
+                        word.push(ch);
+                    }
                 }
             }
-            tokens.push(Token::Word(word, true));
+            tokens.push(SpTok {
+                tok: Token::Word(word, true),
+                span: Span::new(ctx.lineno, start_col, ctx.base + start, col - start_col),
+            });
         } else {
+            let (start, start_col) = (i, col);
             let mut word = String::new();
-            while let Some(&c) = chars.peek() {
+            while let Some(&(_, c)) = chars.peek() {
                 if c.is_whitespace() || c == '#' || c == '"' {
                     break;
                 }
                 word.push(c);
                 chars.next();
+                col += 1;
             }
-            if word == "->" {
-                tokens.push(Token::Arrow);
+            let span = Span::new(ctx.lineno, start_col, ctx.base + start, col - start_col);
+            let tok = if word == "->" {
+                Token::Arrow
             } else {
-                tokens.push(Token::Word(word, false));
-            }
+                Token::Word(word, false)
+            };
+            tokens.push(SpTok { tok, span });
         }
     }
     Ok(tokens)
+}
+
+/// A tokenized word plus its source location: the shared lexical layer of
+/// the `.loop` format, re-exported so the `.machine` codec in
+/// `hrms-machine` lexes identically (same quoting, escapes and `#`
+/// comments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawToken {
+    /// The token text, with quotes stripped and escapes applied. The edge
+    /// arrow appears verbatim as `->`.
+    pub text: String,
+    /// Whether the token was written in quotes (quoted words are never
+    /// treated as keywords by the `.loop` parser).
+    pub quoted: bool,
+    /// Where the token (including any surrounding quotes) sits in the
+    /// input.
+    pub span: Span,
+}
+
+/// Tokenizes one line of a `.loop`/`.machine`-style file into spanned
+/// words. `lineno` is 1-based; `line_offset` is the byte offset of the
+/// line's first character in the whole input (so token spans index into
+/// the full file).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated strings or unknown escapes.
+pub fn tokenize_line(
+    line: &str,
+    lineno: usize,
+    line_offset: usize,
+) -> Result<Vec<RawToken>, ParseError> {
+    let ctx = LineCtx {
+        line,
+        lineno,
+        base: line_offset,
+    };
+    Ok(tokenize(&ctx)?
+        .into_iter()
+        .map(|st| {
+            let quoted = matches!(st.tok, Token::Word(_, true));
+            RawToken {
+                text: st.text().to_string(),
+                quoted,
+                span: st.span,
+            }
+        })
+        .collect())
+}
+
+/// A span covering the non-blank content of one line. `lineno` is 1-based;
+/// `line_offset` is the byte offset of the line's first character in the
+/// whole input.
+pub fn line_span(line: &str, lineno: usize, line_offset: usize) -> Span {
+    LineCtx {
+        line,
+        lineno,
+        base: line_offset,
+    }
+    .span_all()
 }
 
 /// State of the `loop` block currently being parsed.
@@ -237,6 +462,7 @@ struct Block {
     /// rejected at `build` time; first wins for resolution here).
     names: Vec<(String, NodeId)>,
     start_line: usize,
+    spans: LoopSpans,
 }
 
 impl Block {
@@ -248,84 +474,104 @@ impl Block {
     }
 }
 
+/// One parsed attribute: key, optional value, and the token's span.
+type Attr<'t> = (&'t str, Option<&'t str>, Span);
+
 /// Parses `key=value` attributes and flags from the tail of a line.
-fn parse_attrs(tokens: &[Token], lineno: usize) -> Result<Vec<(&str, Option<&str>)>, ParseError> {
+fn parse_attrs<'t>(ctx: &LineCtx<'_>, tokens: &'t [SpTok]) -> Result<Vec<Attr<'t>>, ParseError> {
     let mut attrs = Vec::new();
     for t in tokens {
-        match t {
+        match &t.tok {
             Token::Word(w, false) => match w.split_once('=') {
-                Some((k, v)) => attrs.push((k, Some(v))),
-                None => attrs.push((w.as_str(), None)),
+                Some((k, v)) => attrs.push((k, Some(v), t.span)),
+                None => attrs.push((w.as_str(), None, t.span)),
             },
             other => {
-                return Err(ParseError::new(
-                    lineno,
-                    format!("unexpected token {}", other.describe()),
-                ))
+                return Err(ctx.err_at(t.span, format!("unexpected token {}", other.describe())))
             }
         }
     }
     Ok(attrs)
 }
 
-fn parse_num<T: std::str::FromStr>(v: &str, what: &str, lineno: usize) -> Result<T, ParseError> {
+fn parse_num<T: std::str::FromStr>(
+    ctx: &LineCtx<'_>,
+    v: &str,
+    span: Span,
+    what: &str,
+) -> Result<T, ParseError> {
     v.parse()
-        .map_err(|_| ParseError::new(lineno, format!("invalid {what} `{v}`")))
+        .map_err(|_| ctx.err_at(span, format!("invalid {what} `{v}`")))
 }
 
-fn word(t: Option<&Token>, what: &str, lineno: usize) -> Result<String, ParseError> {
+fn word<'t>(ctx: &LineCtx<'_>, t: Option<&'t SpTok>, what: &str) -> Result<&'t SpTok, ParseError> {
     match t {
-        Some(Token::Word(w, _)) => Ok(w.clone()),
-        Some(other) => Err(ParseError::new(
-            lineno,
-            format!("expected {what}, found {}", other.describe()),
-        )),
-        None => Err(ParseError::new(lineno, format!("expected {what}"))),
+        Some(st) => match &st.tok {
+            Token::Word(_, _) => Ok(st),
+            other => Err(ctx.err_at(
+                st.span,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        },
+        None => Err(ctx.err(format!("expected {what}"))),
     }
 }
 
-/// Parses a whole file: any number of `loop ... end` blocks.
+/// Parses a whole file: any number of `loop ... end` blocks, returning the
+/// source spans of every block alongside its graph.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] (with a 1-based line number) on malformed
-/// syntax, unknown keywords/kinds, dangling edge endpoints, or when a block
-/// fails [`DdgBuilder::build`] validation (duplicate names, zero latency,
-/// empty body).
-pub fn parse_loops(input: &str) -> Result<Vec<Ddg>, ParseError> {
+/// Returns a [`ParseError`] (with a 1-based line number, column and source
+/// excerpt) on malformed syntax, unknown keywords/kinds, dangling edge
+/// endpoints, or when a block fails [`DdgBuilder::build`] validation
+/// (duplicate names, zero latency, empty body).
+pub fn parse_loops_with_spans(input: &str) -> Result<Vec<(Ddg, LoopSpans)>, ParseError> {
     let mut loops = Vec::new();
     let mut block: Option<Block> = None;
-    for (i, line) in input.lines().enumerate() {
+    let mut base = 0usize;
+    for (i, raw) in input.split_inclusive('\n').enumerate() {
         let lineno = i + 1;
-        let tokens = tokenize(line, lineno)?;
+        let line = raw
+            .strip_suffix('\n')
+            .map(|l| l.strip_suffix('\r').unwrap_or(l))
+            .unwrap_or(raw);
+        let ctx = LineCtx { line, lineno, base };
+        base += raw.len();
+        let tokens = tokenize(&ctx)?;
         let Some(first) = tokens.first() else {
             continue;
         };
-        let keyword = match first {
+        let keyword = match &first.tok {
             Token::Word(w, false) => w.as_str(),
             other => {
-                return Err(ParseError::new(
-                    lineno,
+                return Err(ctx.err_at(
+                    first.span,
                     format!("expected a keyword, found {}", other.describe()),
                 ))
             }
         };
         match (keyword, &mut block) {
             ("loop", Some(_)) => {
-                return Err(ParseError::new(
-                    lineno,
+                return Err(ctx.err_at(
+                    first.span,
                     "`loop` inside an unterminated block (missing `end`?)",
                 ));
             }
             ("loop", slot @ None) => {
-                let name = word(tokens.get(1), "a loop name", lineno)?;
+                let name = word(&ctx, tokens.get(1), "a loop name")?;
                 if tokens.len() > 2 {
-                    return Err(ParseError::new(lineno, "trailing tokens after loop name"));
+                    return Err(ctx.err_at(tokens[2].span, "trailing tokens after loop name"));
                 }
                 *slot = Some(Block {
-                    builder: DdgBuilder::new(name),
+                    builder: DdgBuilder::new(name.text()),
                     names: Vec::new(),
                     start_line: lineno,
+                    spans: LoopSpans {
+                        header: ctx.span_all(),
+                        nodes: Vec::new(),
+                        edges: Vec::new(),
+                    },
                 });
             }
             ("end", Some(_)) => {
@@ -333,46 +579,48 @@ pub fn parse_loops(input: &str) -> Result<Vec<Ddg>, ParseError> {
                 let ddg = b
                     .builder
                     .build()
-                    .map_err(|e| ParseError::new(lineno, format!("invalid loop: {e}")))?;
-                loops.push(ddg);
+                    .map_err(|e| ctx.err(format!("invalid loop: {e}")))?;
+                loops.push((ddg, b.spans));
             }
             ("iterations", Some(b)) => {
-                let v = word(tokens.get(1), "an iteration count", lineno)?;
+                let v = word(&ctx, tokens.get(1), "an iteration count")?;
                 b.builder
-                    .iteration_count(parse_num(&v, "iteration count", lineno)?);
+                    .iteration_count(parse_num(&ctx, v.text(), v.span, "iteration count")?);
             }
             ("invariants", Some(b)) => {
-                let v = word(tokens.get(1), "an invariant count", lineno)?;
+                let v = word(&ctx, tokens.get(1), "an invariant count")?;
                 b.builder
-                    .invariants(parse_num(&v, "invariant count", lineno)?);
+                    .invariants(parse_num(&ctx, v.text(), v.span, "invariant count")?);
             }
             ("node", Some(b)) => {
-                let name = word(tokens.get(1), "a node name", lineno)?;
-                let kind_word = word(tokens.get(2), "an operation kind", lineno)?;
-                let kind = OpKind::from_mnemonic(&kind_word).ok_or_else(|| {
-                    ParseError::new(lineno, format!("unknown operation kind `{kind_word}`"))
+                let name = word(&ctx, tokens.get(1), "a node name")?.text().to_string();
+                let kind_tok = word(&ctx, tokens.get(2), "an operation kind")?;
+                let kind_word = kind_tok.text();
+                let kind = OpKind::from_mnemonic(kind_word).ok_or_else(|| {
+                    ctx.err_at(
+                        kind_tok.span,
+                        format!("unknown operation kind `{kind_word}`"),
+                    )
                 })?;
                 let mut latency: Option<u32> = None;
                 let mut invariant_uses: u32 = 0;
                 let mut no_result = false;
-                for (k, v) in parse_attrs(&tokens[3..], lineno)? {
+                for (k, v, span) in parse_attrs(&ctx, &tokens[3..])? {
                     match (k, v) {
-                        ("latency", Some(v)) => latency = Some(parse_num(v, "latency", lineno)?),
+                        ("latency", Some(v)) => {
+                            latency = Some(parse_num(&ctx, v, span, "latency")?)
+                        }
                         ("invariant_uses", Some(v)) => {
-                            invariant_uses = parse_num(v, "invariant_uses", lineno)?;
+                            invariant_uses = parse_num(&ctx, v, span, "invariant_uses")?;
                         }
                         ("no_result", None) => no_result = true,
                         (k, _) => {
-                            return Err(ParseError::new(
-                                lineno,
-                                format!("unknown node attribute `{k}`"),
-                            ))
+                            return Err(ctx.err_at(span, format!("unknown node attribute `{k}`")))
                         }
                     }
                 }
-                let latency = latency.ok_or_else(|| {
-                    ParseError::new(lineno, format!("node `{name}` is missing latency=N"))
-                })?;
+                let latency = latency
+                    .ok_or_else(|| ctx.err(format!("node `{name}` is missing latency=N")))?;
                 let id = if no_result {
                     b.builder.node_no_result(name.clone(), kind, latency)
                 } else {
@@ -382,47 +630,57 @@ pub fn parse_loops(input: &str) -> Result<Vec<Ddg>, ParseError> {
                     b.builder.node_invariant_uses(id, invariant_uses);
                 }
                 b.names.push((name, id));
+                b.spans.nodes.push(ctx.span_all());
             }
             ("edge", Some(b)) => {
-                let src_name = word(tokens.get(1), "a source node name", lineno)?;
-                if tokens.get(2) != Some(&Token::Arrow) {
-                    return Err(ParseError::new(lineno, "expected `->` after edge source"));
+                let src_tok = word(&ctx, tokens.get(1), "a source node name")?;
+                match tokens.get(2) {
+                    Some(t) if t.tok == Token::Arrow => {}
+                    Some(t) => return Err(ctx.err_at(t.span, "expected `->` after edge source")),
+                    None => return Err(ctx.err("expected `->` after edge source")),
                 }
-                let dst_name = word(tokens.get(3), "a target node name", lineno)?;
-                let kind_word = word(tokens.get(4), "a dependence kind", lineno)?;
-                let kind = DepKind::from_label(&kind_word).ok_or_else(|| {
-                    ParseError::new(lineno, format!("unknown dependence kind `{kind_word}`"))
+                let dst_tok = word(&ctx, tokens.get(3), "a target node name")?;
+                let kind_tok = word(&ctx, tokens.get(4), "a dependence kind")?;
+                let kind_word = kind_tok.text();
+                let kind = DepKind::from_label(kind_word).ok_or_else(|| {
+                    ctx.err_at(
+                        kind_tok.span,
+                        format!("unknown dependence kind `{kind_word}`"),
+                    )
                 })?;
                 let mut distance: u32 = 0;
-                for (k, v) in parse_attrs(&tokens[5..], lineno)? {
+                for (k, v, span) in parse_attrs(&ctx, &tokens[5..])? {
                     match (k, v) {
-                        ("dist", Some(v)) => distance = parse_num(v, "distance", lineno)?,
+                        ("dist", Some(v)) => distance = parse_num(&ctx, v, span, "distance")?,
                         (k, _) => {
-                            return Err(ParseError::new(
-                                lineno,
-                                format!("unknown edge attribute `{k}`"),
-                            ))
+                            return Err(ctx.err_at(span, format!("unknown edge attribute `{k}`")))
                         }
                     }
                 }
-                let src = b.lookup(&src_name).ok_or_else(|| {
-                    ParseError::new(lineno, format!("edge references unknown node `{src_name}`"))
+                let src = b.lookup(src_tok.text()).ok_or_else(|| {
+                    ctx.err_at(
+                        src_tok.span,
+                        format!("edge references unknown node `{}`", src_tok.text()),
+                    )
                 })?;
-                let dst = b.lookup(&dst_name).ok_or_else(|| {
-                    ParseError::new(lineno, format!("edge references unknown node `{dst_name}`"))
+                let dst = b.lookup(dst_tok.text()).ok_or_else(|| {
+                    ctx.err_at(
+                        dst_tok.span,
+                        format!("edge references unknown node `{}`", dst_tok.text()),
+                    )
                 })?;
                 b.builder
                     .edge(src, dst, kind, distance)
-                    .map_err(|e| ParseError::new(lineno, format!("invalid edge: {e}")))?;
+                    .map_err(|e| ctx.err(format!("invalid edge: {e}")))?;
+                b.spans.edges.push(ctx.span_all());
             }
             (kw, Some(_)) => {
-                return Err(ParseError::new(lineno, format!("unknown keyword `{kw}`")));
+                return Err(ctx.err_at(first.span, format!("unknown keyword `{kw}`")));
             }
             (kw, None) => {
-                return Err(ParseError::new(
-                    lineno,
-                    format!("`{kw}` outside a `loop ... end` block"),
-                ));
+                return Err(
+                    ctx.err_at(first.span, format!("`{kw}` outside a `loop ... end` block"))
+                );
             }
         }
     }
@@ -436,6 +694,18 @@ pub fn parse_loops(input: &str) -> Result<Vec<Ddg>, ParseError> {
         ));
     }
     Ok(loops)
+}
+
+/// Parses a whole file: any number of `loop ... end` blocks.
+///
+/// # Errors
+///
+/// Same as [`parse_loops_with_spans`].
+pub fn parse_loops(input: &str) -> Result<Vec<Ddg>, ParseError> {
+    Ok(parse_loops_with_spans(input)?
+        .into_iter()
+        .map(|(ddg, _)| ddg)
+        .collect())
 }
 
 /// Parses a file that must contain exactly one loop.
@@ -547,6 +817,81 @@ mod tests {
                 "case {text:?}: message {err} should mention {needle}"
             );
         }
+    }
+
+    #[test]
+    fn errors_carry_columns_offsets_and_excerpts() {
+        // `zzz` starts at column 8 of line 2; the file is
+        // "loop l\nnode a zzz latency=1\nend\n", so its byte offset is
+        // 7 (line 1 + newline) + 7 = 14.
+        let text = "loop l\nnode a zzz latency=1\nend\n";
+        let err = parse_loops(text).unwrap_err();
+        let span = err.span.expect("token errors carry spans");
+        assert_eq!((span.line, span.col, span.offset, span.len), (2, 8, 14, 3));
+        assert_eq!(&text[span.offset..span.offset + span.len], "zzz");
+        assert_eq!(err.source_line.as_deref(), Some("node a zzz latency=1"));
+        let rendered = err.to_string();
+        assert!(
+            rendered.starts_with("line 2, col 8: unknown operation kind `zzz`"),
+            "got: {rendered}"
+        );
+        assert!(
+            rendered.contains("|  node a zzz latency=1"),
+            "excerpt rendered: {rendered}"
+        );
+        assert!(
+            rendered.contains("|         ^^^"),
+            "caret under the token: {rendered}"
+        );
+    }
+
+    #[test]
+    fn spans_point_at_the_offending_token_per_error_kind() {
+        // (input, expected 1-based column of the span)
+        let cases: &[(&str, usize)] = &[
+            // unknown dependence kind `zz` on the edge line
+            (
+                "loop l\nnode a fadd latency=1\nedge a -> a zz dist=1\nend\n",
+                13,
+            ),
+            // unknown node `b` as edge target
+            ("loop l\nnode a fadd latency=1\nedge a -> b flow\nend\n", 11),
+            // invalid latency value: span covers `latency=x`
+            ("loop l\nnode a fadd latency=x\nend\n", 13),
+            // unknown keyword at start of line
+            ("loop l\n  frobnicate\nend\n", 3),
+        ];
+        for (text, col) in cases {
+            let err = parse_loops(text).unwrap_err();
+            let span = err.span.unwrap_or_else(|| panic!("no span: {err}"));
+            assert_eq!(span.col, *col, "case {text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn with_spans_records_every_node_and_edge_line() {
+        let text = "# header\nloop l\n  node a fadd latency=1\n  node b fmul latency=2\n  edge a -> b flow\nend\n";
+        let parsed = parse_loops_with_spans(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let (g, spans) = &parsed[0];
+        assert_eq!(spans.header.line, 2);
+        assert_eq!(spans.nodes.len(), g.num_nodes());
+        assert_eq!(spans.edges.len(), g.num_edges());
+        assert_eq!(spans.nodes[0].line, 3);
+        assert_eq!(spans.nodes[1].line, 4);
+        assert_eq!(spans.edges[0].line, 5);
+        // Node spans cover the declaration text, byte-addressable.
+        let s = spans.nodes[1];
+        assert_eq!(&text[s.offset..s.offset + s.len], "node b fmul latency=2");
+    }
+
+    #[test]
+    fn crlf_input_keeps_offsets_exact() {
+        let text = "loop l\r\nnode a zzz latency=1\r\nend\r\n";
+        let err = parse_loops(text).unwrap_err();
+        let span = err.span.unwrap();
+        assert_eq!(span.line, 2);
+        assert_eq!(&text[span.offset..span.offset + span.len], "zzz");
     }
 
     #[test]

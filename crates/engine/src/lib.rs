@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hrms_ddg::Ddg;
@@ -144,6 +145,11 @@ impl BatchEngine {
     /// the output shape is deterministic regardless of worker interleaving.
     /// This is the engine entry point behind `hrms schedule` (which prints
     /// cell results in loop-major order to keep the report stream stable).
+    ///
+    /// Each cell is an isolation boundary: a panicking scheduler yields a
+    /// [`SchedError::Internal`] in that cell instead of unwinding through
+    /// the pool and poisoning the remaining
+    /// `schedulers.len() * loops.len() - 1` results.
     pub fn schedule_grid(
         &self,
         schedulers: &[&(dyn ModuloScheduler + Sync)],
@@ -155,7 +161,23 @@ impl BatchEngine {
             .collect();
         let mut flat = self
             .map(&cells, |_, &(s, l)| {
-                schedulers[s].schedule_loop(&loops[l], machine)
+                catch_unwind(AssertUnwindSafe(|| {
+                    schedulers[s].schedule_loop(&loops[l], machine)
+                }))
+                .unwrap_or_else(|payload| {
+                    let what = payload
+                        .downcast_ref::<&str>()
+                        .map(|m| (*m).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(SchedError::Internal {
+                        what: format!(
+                            "scheduler `{}` panicked on loop `{}`: {what}",
+                            schedulers[s].name(),
+                            loops[l].name()
+                        ),
+                    })
+                })
             })
             .into_iter();
         schedulers
@@ -321,6 +343,47 @@ mod tests {
         assert!(grid[0].is_empty());
         let grid = engine.schedule_grid(&[], &LoopGenerator::with_seed(1).generate(2), &machine);
         assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_scheduler_fails_its_cells_and_spares_the_rest() {
+        struct PanickingScheduler;
+        impl ModuloScheduler for PanickingScheduler {
+            fn name(&self) -> &str {
+                "panicker"
+            }
+            fn schedule_loop(
+                &self,
+                ddg: &Ddg,
+                _machine: &Machine,
+            ) -> Result<ScheduleOutcome, SchedError> {
+                panic!("induced failure on `{}`", ddg.name())
+            }
+        }
+
+        // Silence the default panic hook's stderr spew for the induced
+        // panics; restore it afterwards so other tests are unaffected.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let loops = LoopGenerator::with_seed(9).generate(4);
+        let machine = presets::govindarajan();
+        let hrms = HrmsScheduler::new();
+        let panicker = PanickingScheduler;
+        let schedulers: Vec<&(dyn ModuloScheduler + Sync)> = vec![&hrms, &panicker];
+        let grid = BatchEngine::with_workers(4).schedule_grid(&schedulers, &loops, &machine);
+        std::panic::set_hook(hook);
+
+        assert!(grid[0].iter().all(Result::is_ok), "healthy row unaffected");
+        for (cell, ddg) in grid[1].iter().zip(&loops) {
+            match cell {
+                Err(SchedError::Internal { what }) => {
+                    assert!(what.contains("panicker"), "{what}");
+                    assert!(what.contains(&format!("`{}`", ddg.name())), "{what}");
+                    assert!(what.contains("induced failure"), "{what}");
+                }
+                other => panic!("expected Internal error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use error::MachineError;
 pub use fingerprint::machine_fingerprint;
 pub use machine::{ClassId, Machine, MachineBuilder, ResourceClass};
 pub use resmii::res_mii;
-pub use textfmt::{parse_machine, write_machine};
+pub use textfmt::{parse_machine, parse_machine_with_spans, write_machine, MachineSpans};
 
 use hrms_ddg::{Ddg, DdgBuilder};
 

@@ -21,7 +21,7 @@
 
 use std::fmt::Write as _;
 
-use hrms_ddg::textfmt::ParseError;
+use hrms_ddg::textfmt::{line_span, tokenize_line, ParseError, Span};
 use hrms_ddg::OpKind;
 
 use crate::machine::{Machine, MachineBuilder, ResourceClass};
@@ -85,123 +85,133 @@ pub fn write_machine(machine: &Machine) -> String {
     out
 }
 
-/// One whitespace-separated token of a line (quoted tokens may contain
-/// whitespace).
-fn tokenize(line: &str, lineno: usize) -> Result<Vec<String>, ParseError> {
-    let mut tokens = Vec::new();
-    let mut chars = line.chars().peekable();
-    while let Some(&c) = chars.peek() {
-        if c.is_whitespace() {
-            chars.next();
-        } else if c == '#' {
-            break;
-        } else if c == '"' {
-            chars.next();
-            let mut word = String::new();
-            loop {
-                match chars.next() {
-                    None => return Err(ParseError::new(lineno, "unterminated string")),
-                    Some('"') => break,
-                    Some('\\') => match chars.next() {
-                        Some('\\') => word.push('\\'),
-                        Some('"') => word.push('"'),
-                        Some('n') => word.push('\n'),
-                        Some('t') => word.push('\t'),
-                        Some(other) => {
-                            return Err(ParseError::new(
-                                lineno,
-                                format!("unknown escape `\\{other}` in string"),
-                            ))
-                        }
-                        None => return Err(ParseError::new(lineno, "unterminated string")),
-                    },
-                    Some(ch) => word.push(ch),
-                }
-            }
-            tokens.push(word);
-        } else {
-            let mut word = String::new();
-            while let Some(&c) = chars.peek() {
-                if c.is_whitespace() || c == '#' || c == '"' {
-                    break;
-                }
-                word.push(c);
-                chars.next();
-            }
-            tokens.push(word);
-        }
-    }
-    Ok(tokens)
+/// Source spans of a parsed `machine ... end` block, indexed like the
+/// machine itself: `classes[i]` is the span of the line declaring class
+/// `i` (declaration order equals [`crate::ClassId`] order), `ops[k]` the
+/// span of the `op` line for `OpKind::ALL[k]` (when one was present).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSpans {
+    /// The `machine` header line.
+    pub header: Span,
+    /// One span per resource class, in [`crate::ClassId`] order.
+    pub classes: Vec<Span>,
+    /// For each kind in [`OpKind::ALL`] order, the span of its `op` line
+    /// (None when the kind was never mapped — `build` rejects that, so the
+    /// slot is only `None` transiently).
+    pub ops: Vec<Option<Span>>,
 }
 
-fn parse_num<T: std::str::FromStr>(v: &str, what: &str, lineno: usize) -> Result<T, ParseError> {
+fn kind_slot(kind: OpKind) -> usize {
+    OpKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("ALL lists every kind")
+}
+
+fn parse_num<T: std::str::FromStr>(
+    line: &str,
+    v: &str,
+    span: Span,
+    what: &str,
+) -> Result<T, ParseError> {
     v.parse()
-        .map_err(|_| ParseError::new(lineno, format!("invalid {what} `{v}`")))
+        .map_err(|_| ParseError::at(span, line, format!("invalid {what} `{v}`")))
 }
 
-/// Parses a machine description.
-///
-/// The input must contain exactly one `machine ... end` block; every
-/// operation kind must be mapped by an `op` line (the same validation as
-/// [`MachineBuilder::build`], surfaced with line information where
-/// possible). Class references in `op` lines accept either the dense class
-/// index (`class=0`) or the class name (`class=fp-add`).
+/// Parses a machine description, returning the source spans of the header
+/// and of every `class`/`op` line alongside the machine.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] on malformed syntax, unknown kinds or class
-/// references, duplicate blocks, or failed machine validation.
-pub fn parse_machine(input: &str) -> Result<Machine, ParseError> {
+/// Same as [`parse_machine`].
+pub fn parse_machine_with_spans(input: &str) -> Result<(Machine, MachineSpans), ParseError> {
     let mut builder: Option<MachineBuilder> = None;
     let mut class_names: Vec<String> = Vec::new();
-    let mut finished: Option<Machine> = None;
+    let mut spans: Option<MachineSpans> = None;
+    let mut finished: Option<(Machine, MachineSpans)> = None;
 
-    for (i, line) in input.lines().enumerate() {
+    let mut base = 0usize;
+    for (i, raw) in input.split_inclusive('\n').enumerate() {
         let lineno = i + 1;
-        let tokens = tokenize(line, lineno)?;
-        let Some(keyword) = tokens.first() else {
+        let line = raw
+            .strip_suffix('\n')
+            .map(|l| l.strip_suffix('\r').unwrap_or(l))
+            .unwrap_or(raw);
+        let line_base = base;
+        base += raw.len();
+        let tokens = tokenize_line(line, lineno, line_base)?;
+        let Some(first) = tokens.first() else {
             continue;
         };
         if finished.is_some() {
-            return Err(ParseError::new(
-                lineno,
+            return Err(ParseError::at(
+                first.span,
+                line,
                 "trailing content after `end`; a machine file holds one description",
             ));
         }
-        match (keyword.as_str(), &mut builder) {
+        match (first.text.as_str(), &mut builder) {
             ("machine", Some(_)) => {
-                return Err(ParseError::new(lineno, "nested `machine` block"));
+                return Err(ParseError::at(first.span, line, "nested `machine` block"));
             }
             ("machine", slot @ None) => {
-                let name = tokens
-                    .get(1)
-                    .ok_or_else(|| ParseError::new(lineno, "expected a machine name"))?;
-                *slot = Some(MachineBuilder::new(name.clone()));
+                let name = tokens.get(1).ok_or_else(|| {
+                    ParseError::at(
+                        line_span(line, lineno, line_base),
+                        line,
+                        "expected a machine name",
+                    )
+                })?;
+                *slot = Some(MachineBuilder::new(name.text.clone()));
+                spans = Some(MachineSpans {
+                    header: line_span(line, lineno, line_base),
+                    classes: Vec::new(),
+                    ops: vec![None; OpKind::ALL.len()],
+                });
             }
             ("class", Some(_)) => {
                 let name = tokens
                     .get(1)
-                    .ok_or_else(|| ParseError::new(lineno, "expected a class name"))?
+                    .ok_or_else(|| {
+                        ParseError::at(
+                            line_span(line, lineno, line_base),
+                            line,
+                            "expected a class name",
+                        )
+                    })?
+                    .text
                     .clone();
                 let mut count: Option<u32> = None;
                 let mut pipelined: Option<bool> = None;
                 for t in &tokens[2..] {
-                    match (t.split_once('='), t.as_str()) {
-                        (Some(("count", v)), _) => count = Some(parse_num(v, "count", lineno)?),
+                    match (t.text.split_once('='), t.text.as_str()) {
+                        (Some(("count", v)), _) => {
+                            count = Some(parse_num(line, v, t.span, "count")?)
+                        }
                         (None, "pipelined") => pipelined = Some(true),
                         (None, "unpipelined") => pipelined = Some(false),
                         _ => {
-                            return Err(ParseError::new(
-                                lineno,
-                                format!("unknown class attribute `{t}`"),
+                            return Err(ParseError::at(
+                                t.span,
+                                line,
+                                format!("unknown class attribute `{}`", t.text),
                             ))
                         }
                     }
                 }
-                let count =
-                    count.ok_or_else(|| ParseError::new(lineno, "class is missing count=N"))?;
+                let count = count.ok_or_else(|| {
+                    ParseError::at(
+                        line_span(line, lineno, line_base),
+                        line,
+                        "class is missing count=N",
+                    )
+                })?;
                 let pipelined = pipelined.ok_or_else(|| {
-                    ParseError::new(lineno, "class is missing pipelined|unpipelined")
+                    ParseError::at(
+                        line_span(line, lineno, line_base),
+                        line,
+                        "class is missing pipelined|unpipelined",
+                    )
                 })?;
                 let class = if pipelined {
                     ResourceClass::pipelined(name.clone(), count)
@@ -210,18 +220,29 @@ pub fn parse_machine(input: &str) -> Result<Machine, ParseError> {
                 };
                 builder = Some(builder.take().expect("matched Some").class(class));
                 class_names.push(name);
+                if let Some(s) = &mut spans {
+                    s.classes.push(line_span(line, lineno, line_base));
+                }
             }
             ("op", Some(_)) => {
-                let kind_word = tokens
-                    .get(1)
-                    .ok_or_else(|| ParseError::new(lineno, "expected an operation kind"))?;
-                let kind = OpKind::from_mnemonic(kind_word).ok_or_else(|| {
-                    ParseError::new(lineno, format!("unknown operation kind `{kind_word}`"))
+                let kind_tok = tokens.get(1).ok_or_else(|| {
+                    ParseError::at(
+                        line_span(line, lineno, line_base),
+                        line,
+                        "expected an operation kind",
+                    )
+                })?;
+                let kind = OpKind::from_mnemonic(&kind_tok.text).ok_or_else(|| {
+                    ParseError::at(
+                        kind_tok.span,
+                        line,
+                        format!("unknown operation kind `{}`", kind_tok.text),
+                    )
                 })?;
                 let mut class: Option<u32> = None;
                 let mut latency: Option<u32> = None;
                 for t in &tokens[2..] {
-                    match t.split_once('=') {
+                    match t.text.split_once('=') {
                         Some(("class", v)) => {
                             class = Some(match v.parse() {
                                 Ok(idx) => idx,
@@ -230,46 +251,72 @@ pub fn parse_machine(input: &str) -> Result<Machine, ParseError> {
                                     .position(|n| n == v)
                                     .map(|i| i as u32)
                                     .ok_or_else(|| {
-                                        ParseError::new(
-                                            lineno,
+                                        ParseError::at(
+                                            t.span,
+                                            line,
                                             format!("unknown resource class `{v}`"),
                                         )
                                     })?,
                             });
                         }
-                        Some(("latency", v)) => latency = Some(parse_num(v, "latency", lineno)?),
+                        Some(("latency", v)) => {
+                            latency = Some(parse_num(line, v, t.span, "latency")?)
+                        }
                         _ => {
-                            return Err(ParseError::new(
-                                lineno,
-                                format!("unknown op attribute `{t}`"),
+                            return Err(ParseError::at(
+                                t.span,
+                                line,
+                                format!("unknown op attribute `{}`", t.text),
                             ))
                         }
                     }
                 }
-                let class =
-                    class.ok_or_else(|| ParseError::new(lineno, "op is missing class=N"))?;
-                let latency =
-                    latency.ok_or_else(|| ParseError::new(lineno, "op is missing latency=N"))?;
+                let class = class.ok_or_else(|| {
+                    ParseError::at(
+                        line_span(line, lineno, line_base),
+                        line,
+                        "op is missing class=N",
+                    )
+                })?;
+                let latency = latency.ok_or_else(|| {
+                    ParseError::at(
+                        line_span(line, lineno, line_base),
+                        line,
+                        "op is missing latency=N",
+                    )
+                })?;
                 builder = Some(
                     builder
                         .take()
                         .expect("matched Some")
                         .map(kind, class, latency),
                 );
+                if let Some(s) = &mut spans {
+                    s.ops[kind_slot(kind)] = Some(line_span(line, lineno, line_base));
+                }
             }
             ("end", Some(_)) => {
                 let b = builder.take().expect("matched Some");
-                finished = Some(
-                    b.build()
-                        .map_err(|e| ParseError::new(lineno, format!("invalid machine: {e}")))?,
-                );
+                let machine = b.build().map_err(|e| {
+                    ParseError::at(
+                        line_span(line, lineno, line_base),
+                        line,
+                        format!("invalid machine: {e}"),
+                    )
+                })?;
+                finished = Some((machine, spans.take().expect("spans set with builder")));
             }
             (kw, Some(_)) => {
-                return Err(ParseError::new(lineno, format!("unknown keyword `{kw}`")));
+                return Err(ParseError::at(
+                    first.span,
+                    line,
+                    format!("unknown keyword `{kw}`"),
+                ));
             }
             (kw, None) => {
-                return Err(ParseError::new(
-                    lineno,
+                return Err(ParseError::at(
+                    first.span,
+                    line,
                     format!("`{kw}` outside a `machine ... end` block"),
                 ));
             }
@@ -282,6 +329,23 @@ pub fn parse_machine(input: &str) -> Result<Machine, ParseError> {
         ));
     }
     finished.ok_or_else(|| ParseError::new(0, "input contains no `machine` block"))
+}
+
+/// Parses a machine description.
+///
+/// The input must contain exactly one `machine ... end` block; every
+/// operation kind must be mapped by an `op` line (the same validation as
+/// [`MachineBuilder::build`], surfaced with line information where
+/// possible). Class references in `op` lines accept either the dense class
+/// index (`class=0`) or the class name (`class=fp-add`).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] — carrying the 1-based line, column and a
+/// source excerpt where possible — on malformed syntax, unknown kinds or
+/// class references, duplicate blocks, or failed machine validation.
+pub fn parse_machine(input: &str) -> Result<Machine, ParseError> {
+    parse_machine_with_spans(input).map(|(m, _)| m)
 }
 
 #[cfg(test)]
@@ -352,6 +416,32 @@ mod tests {
                 err.to_string().contains(needle),
                 "case {text:?}: `{err}` should mention {needle:?}"
             );
+        }
+    }
+
+    #[test]
+    fn errors_carry_columns_and_excerpts() {
+        let text = "machine m\nop zzz class=0 latency=1\nend\n";
+        let err = parse_machine(text).unwrap_err();
+        let span = err.span.expect("token errors carry spans");
+        assert_eq!((span.line, span.col), (2, 4));
+        assert_eq!(&text[span.offset..span.offset + span.len], "zzz");
+        assert!(err.to_string().contains("|  op zzz class=0 latency=1"));
+    }
+
+    #[test]
+    fn with_spans_records_header_class_and_op_lines() {
+        let text = write_machine(&presets::govindarajan());
+        let (m, spans) = parse_machine_with_spans(&text).unwrap();
+        assert_eq!(spans.header.line, 1);
+        assert_eq!(spans.classes.len(), m.num_classes());
+        for (i, s) in spans.classes.iter().enumerate() {
+            assert_eq!(s.line, i + 2, "class lines follow the header in order");
+            assert!(text[s.offset..s.offset + s.len].starts_with("class "));
+        }
+        for (k, s) in OpKind::ALL.iter().zip(&spans.ops) {
+            let s = s.unwrap_or_else(|| panic!("{k:?} has an op line"));
+            assert!(text[s.offset..].starts_with(&format!("op {}", k.mnemonic())));
         }
     }
 

@@ -26,6 +26,13 @@ pub enum SchedError {
     /// The graph propagated an error from the `hrms-ddg` crate (e.g. an
     /// empty loop body).
     Graph(hrms_ddg::DdgError),
+    /// A scheduler panicked and the panic was contained at an isolation
+    /// boundary (the batch engine catches per-cell panics so one broken
+    /// scheduler/loop pair cannot take down a whole evaluation run).
+    Internal {
+        /// The panic payload, when it was a string.
+        what: String,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -41,6 +48,9 @@ impl fmt::Display for SchedError {
                 write!(f, "scheduling budget exhausted: {what}")
             }
             SchedError::Graph(e) => write!(f, "invalid dependence graph: {e}"),
+            SchedError::Internal { what } => {
+                write!(f, "internal scheduler failure: {what}")
+            }
         }
     }
 }

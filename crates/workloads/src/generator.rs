@@ -175,6 +175,27 @@ impl LoopGenerator {
             .round() as usize;
         let size = (cfg.min_ops + extra).min(cfg.max_ops);
 
+        // A repeated draw of the same producer (or a dead-value sweep that
+        // lands on an existing consumer) must not emit the same dependence
+        // twice: a duplicate adds no constraint, and the lint pass flags it
+        // (L002). The guard skips the insertion without consuming any random
+        // draws, so seeded suites keep their draw sequence.
+        let mut seen_edges: std::collections::HashSet<(NodeId, NodeId, DepKind, u32)> =
+            std::collections::HashSet::new();
+        fn wire(
+            b: &mut DdgBuilder,
+            seen: &mut std::collections::HashSet<(NodeId, NodeId, DepKind, u32)>,
+            from: NodeId,
+            to: NodeId,
+            kind: DepKind,
+            distance: u32,
+        ) {
+            if seen.insert((from, to, kind, distance)) {
+                b.edge(from, to, kind, distance)
+                    .expect("indices are in range");
+            }
+        }
+
         let mut b = DdgBuilder::new(format!("synthetic_{:05}", self.produced));
         let mut ids: Vec<NodeId> = Vec::with_capacity(size);
         let mut kinds: Vec<OpKind> = Vec::with_capacity(size);
@@ -216,8 +237,14 @@ impl LoopGenerator {
                         if let Some(&addr) =
                             producers.iter().rfind(|&&j| kinds[j] == OpKind::IntAlu)
                         {
-                            b.edge(ids[addr], ids[i], DepKind::RegFlow, 0)
-                                .expect("indices are in range");
+                            wire(
+                                &mut b,
+                                &mut seen_edges,
+                                ids[addr],
+                                ids[i],
+                                DepKind::RegFlow,
+                                0,
+                            );
                             consumed[addr] = true;
                             parents[i].push(addr);
                         }
@@ -226,8 +253,7 @@ impl LoopGenerator {
                 OpKind::Store => {
                     if !producers.is_empty() {
                         let j = pick_producer(&producers, rng);
-                        b.edge(ids[j], ids[i], DepKind::RegFlow, 0)
-                            .expect("indices are in range");
+                        wire(&mut b, &mut seen_edges, ids[j], ids[i], DepKind::RegFlow, 0);
                         consumed[j] = true;
                         parents[i].push(j);
                     }
@@ -239,8 +265,7 @@ impl LoopGenerator {
                             break;
                         }
                         let j = pick_producer(&producers, rng);
-                        b.edge(ids[j], ids[i], DepKind::RegFlow, 0)
-                            .expect("indices are in range");
+                        wire(&mut b, &mut seen_edges, ids[j], ids[i], DepKind::RegFlow, 0);
                         consumed[j] = true;
                         parents[i].push(j);
                     }
@@ -265,8 +290,7 @@ impl LoopGenerator {
                 continue;
             }
             let j = candidates[rng.gen_range(0..candidates.len())];
-            b.edge(ids[p], ids[j], DepKind::RegFlow, 0)
-                .expect("indices are in range");
+            wire(&mut b, &mut seen_edges, ids[p], ids[j], DepKind::RegFlow, 0);
         }
 
         // Optionally add loop-carried recurrences: a backward flow edge from
@@ -299,8 +323,14 @@ impl LoopGenerator {
                     continue;
                 }
                 let distance = rng.gen_range(1..=cfg.max_distance);
-                b.edge(ids[from], ids[to], DepKind::RegFlow, distance)
-                    .expect("indices are in range");
+                wire(
+                    &mut b,
+                    &mut seen_edges,
+                    ids[from],
+                    ids[to],
+                    DepKind::RegFlow,
+                    distance,
+                );
             }
         }
 
@@ -327,8 +357,14 @@ impl LoopGenerator {
                         to = parents[to][rng.gen_range(0..parents[to].len())];
                     }
                     let distance = rng.gen_range(1..=cfg.max_distance.max(1));
-                    b.edge(ids[from], ids[to], DepKind::RegFlow, distance)
-                        .expect("indices are in range");
+                    wire(
+                        &mut b,
+                        &mut seen_edges,
+                        ids[from],
+                        ids[to],
+                        DepKind::RegFlow,
+                        distance,
+                    );
                 }
             }
         }
@@ -362,14 +398,47 @@ impl LoopGenerator {
                         DepKind::Memory
                     }
                 };
-                b.edge(ids[a], ids[m], kind_for(a), 0)
-                    .expect("indices are in range");
-                b.edge(ids[mid], ids[n], kind_for(mid), 0)
-                    .expect("indices are in range");
-                b.edge(ids[m], ids[mid], kind_for(m), d1)
-                    .expect("indices are in range");
-                b.edge(ids[n], ids[a], kind_for(n), d2)
-                    .expect("indices are in range");
+                wire(&mut b, &mut seen_edges, ids[a], ids[m], kind_for(a), 0);
+                wire(&mut b, &mut seen_edges, ids[mid], ids[n], kind_for(mid), 0);
+                wire(&mut b, &mut seen_edges, ids[m], ids[mid], kind_for(m), d1);
+                wire(&mut b, &mut seen_edges, ids[n], ids[a], kind_for(n), d2);
+            }
+        }
+
+        // Stitch any disconnected components together. A store that found no
+        // producer (or a value chain the consumer sweep never reached) would
+        // otherwise float free of the loop body, which the lint pass flags as
+        // a likely authoring mistake (L005). Memory-ordering edges are legal
+        // on every operation kind, and union-find over the edges already
+        // placed consumes no random draws, so seeded suites keep their draw
+        // sequence.
+        {
+            let mut root: Vec<usize> = (0..size).collect();
+            fn find(root: &mut [usize], mut x: usize) -> usize {
+                while root[x] != x {
+                    root[x] = root[root[x]];
+                    x = root[x];
+                }
+                x
+            }
+            for &(from, to, _, _) in &seen_edges {
+                let (ra, rb) = (find(&mut root, from.index()), find(&mut root, to.index()));
+                root[ra] = rb;
+            }
+            let main = find(&mut root, 0);
+            for i in 1..size {
+                let r = find(&mut root, i);
+                if r != main {
+                    root[r] = main;
+                    wire(
+                        &mut b,
+                        &mut seen_edges,
+                        ids[i - 1],
+                        ids[i],
+                        DepKind::Memory,
+                        0,
+                    );
+                }
             }
         }
 

@@ -26,7 +26,14 @@ fn main() {
             }
         }
         Err(e) => {
-            eprintln!("hrms: {e}");
+            // Pre-rendered multi-line reports (lint/certify diagnostics)
+            // end with a newline and are printed verbatim; single-line
+            // errors get the usual `hrms:` prefix.
+            if e.message.ends_with('\n') {
+                eprint!("{}", e.message);
+            } else {
+                eprintln!("hrms: {e}");
+            }
             std::process::exit(e.code);
         }
     }

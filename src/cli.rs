@@ -12,6 +12,7 @@ use hrms_ddg::{dot, parse_loops, textfmt, Ddg};
 use hrms_engine::BatchEngine;
 use hrms_machine::{presets, write_machine, Machine};
 use hrms_modsched::{report_line, ModuloScheduler, ReportOptions, ScheduleOutcome};
+use hrms_verify::{certify, lint_dot_source, lint_loop_source, lint_machine_source, Diagnostic};
 
 use crate::registry::{
     all_schedulers, resolve_machine, scheduler_by_slug, BoxedScheduler, SCHEDULER_SLUGS,
@@ -64,6 +65,8 @@ hrms — software pipelining with Hypernode Reduction Modulo Scheduling
 USAGE:
     hrms schedule <FILE|->...  [--scheduler <slugs>|all] [--machine <preset|file>]
                                [--emit kernel|json|dot] [--timing] [--workers N]
+                               [--certify]
+    hrms lint     <FILE|->...  [--machine <preset|file>] [--format text|json]
     hrms convert  <FILE|->...  --to loop|dot
     hrms machine  <preset|file>
     hrms list
@@ -71,7 +74,10 @@ USAGE:
 
 Loop inputs are `.loop` files (docs/FORMATS.md) or Graphviz DOT files
 (auto-detected); `-` reads from stdin. `--scheduler` takes a
-comma-separated list of slugs (default: hrms).
+comma-separated list of slugs (default: hrms). `lint` also accepts
+`.machine` inputs (auto-detected) and exits 1 when it finds anything
+(docs/DIAGNOSTICS.md); `--certify` re-checks every produced schedule with
+the independent certifier from hrms-verify.
 ";
 
 /// Runs the CLI with the given arguments (excluding the program name) and
@@ -85,6 +91,7 @@ pub fn run(args: &[String], stdin: &str) -> Result<String, CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("schedule") => cmd_schedule(&args[1..], stdin),
+        Some("lint") => cmd_lint(&args[1..], stdin),
         Some("convert") => cmd_convert(&args[1..], stdin),
         Some("machine") => cmd_machine(&args[1..]),
         Some("list") => Ok(cmd_list()),
@@ -117,6 +124,19 @@ fn looks_like_dot(text: &str) -> bool {
             || t.starts_with("strict")
             || t.starts_with("//")
             || t.starts_with("/*");
+    }
+    false
+}
+
+/// Whether `text` looks like a `.machine` description: the first line that
+/// is neither blank nor a `#` comment starts with the `machine` keyword.
+fn looks_like_machine(text: &str) -> bool {
+    for line in text.lines() {
+        let t = line.trim_start();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        return t == "machine" || t.starts_with("machine ");
     }
     false
 }
@@ -164,12 +184,14 @@ fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
     let mut emit = Emit::Kernel;
     let mut timing = false;
     let mut workers: Option<usize> = None;
+    let mut do_certify = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scheduler" => scheduler_arg = flag_value(&mut it, "--scheduler")?.to_string(),
             "--machine" => machine_arg = flag_value(&mut it, "--machine")?.to_string(),
+            "--certify" => do_certify = true,
             "--emit" => {
                 emit = match flag_value(&mut it, "--emit")? {
                     "kernel" => Emit::Kernel,
@@ -239,22 +261,57 @@ fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
     for (l, ddg) in loops.iter().enumerate() {
         for (s, scheduler) in scheduler_refs.iter().enumerate() {
             match &grid[s][l] {
-                Ok(outcome) => match emit {
-                    Emit::Kernel => {
-                        render_kernel(&mut out, ddg, &machine, scheduler.name(), outcome, timing)
-                    }
-                    Emit::Json => {
-                        out.push_str(&report_line(
+                Ok(outcome) => {
+                    match emit {
+                        Emit::Kernel => render_kernel(
+                            &mut out,
                             ddg,
                             &machine,
                             scheduler.name(),
                             outcome,
-                            ReportOptions { timing },
-                        ));
-                        out.push('\n');
+                            timing,
+                        ),
+                        Emit::Json => {
+                            out.push_str(&report_line(
+                                ddg,
+                                &machine,
+                                scheduler.name(),
+                                outcome,
+                                ReportOptions { timing },
+                            ));
+                            out.push('\n');
+                        }
+                        Emit::Dot => unreachable!("handled above"),
                     }
-                    Emit::Dot => unreachable!("handled above"),
-                },
+                    if do_certify {
+                        let cert = certify(ddg, &machine, &outcome.schedule);
+                        match emit {
+                            Emit::Json => {
+                                out.push_str(&cert.to_json());
+                                out.push('\n');
+                            }
+                            _ => {
+                                if cert.passed() {
+                                    let _ = writeln!(
+                                        out,
+                                        "certified: loop `{}` x {} (II={}, {} checks)",
+                                        ddg.name(),
+                                        scheduler.name(),
+                                        cert.ii,
+                                        cert.checks.len()
+                                    );
+                                } else {
+                                    for d in &cert.diagnostics {
+                                        let _ = writeln!(out, "error[{}]: {}", d.code, d.message);
+                                    }
+                                }
+                            }
+                        }
+                        if !cert.passed() {
+                            failures += 1;
+                        }
+                    }
+                }
                 Err(e) => {
                     failures += 1;
                     let _ = writeln!(
@@ -274,6 +331,92 @@ fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
         )));
     }
     Ok(out)
+}
+
+/// The `--format` mode of `hrms lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Text,
+    Json,
+}
+
+fn cmd_lint(args: &[String], stdin: &str) -> Result<String, CliError> {
+    let mut sources: Vec<&str> = Vec::new();
+    let mut machine_arg: Option<String> = None;
+    let mut format = LintFormat::Text;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--machine" => machine_arg = Some(flag_value(&mut it, "--machine")?.to_string()),
+            "--format" => {
+                format = match flag_value(&mut it, "--format")? {
+                    "text" => LintFormat::Text,
+                    "json" => LintFormat::Json,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "unknown lint format `{other}` (text or json)"
+                        )))
+                    }
+                }
+            }
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(CliError::usage(format!("unknown flag `{flag}`")));
+            }
+            file => sources.push(file),
+        }
+    }
+    if sources.is_empty() {
+        return Err(CliError::usage(
+            "no input files given (use `-` to read stdin)",
+        ));
+    }
+    let machine = match &machine_arg {
+        Some(name) => Some(resolve_machine(name).map_err(CliError::data)?),
+        None => None,
+    };
+
+    let mut rendered = String::new();
+    let mut total = 0usize;
+    let mut inputs = 0usize;
+    for source in &sources {
+        let text = read_source(source, stdin)?;
+        let path = if *source == "-" { "<stdin>" } else { source };
+        let diags: Vec<Diagnostic> = if looks_like_machine(&text) {
+            lint_machine_source(&text)
+        } else if looks_like_dot(&text) {
+            lint_dot_source(&text, machine.as_ref())
+        } else {
+            lint_loop_source(&text, machine.as_ref())
+        };
+        inputs += 1;
+        total += diags.len();
+        for d in &diags {
+            match format {
+                LintFormat::Text => {
+                    rendered.push_str(&d.render_text(path, &text));
+                    rendered.push('\n');
+                }
+                LintFormat::Json => {
+                    rendered.push_str(&d.render_json(path));
+                    rendered.push('\n');
+                }
+            }
+        }
+    }
+
+    if total > 0 {
+        if format == LintFormat::Text {
+            let _ = writeln!(rendered, "{total} problem(s) in {inputs} input(s)");
+        }
+        // A multi-line message ending in a newline is printed verbatim by
+        // the binary (no `hrms:` prefix), keeping diagnostics clean.
+        return Err(CliError::data(rendered));
+    }
+    Ok(match format {
+        LintFormat::Text => format!("{inputs} input(s): no problems found\n"),
+        LintFormat::Json => String::new(),
+    })
 }
 
 /// Appends the human-readable kernel block for one (loop, scheduler) cell.
@@ -459,6 +602,79 @@ mod tests {
         let out = run(&args(&["machine", "perfect-club"]), "").unwrap();
         assert!(out.starts_with("machine perfect-club-8fu"));
         assert!(hrms_machine::parse_machine(&out).is_ok());
+    }
+
+    #[test]
+    fn lint_clean_input_reports_no_problems() {
+        let input = "loop l\nnode a load latency=2\nnode b fadd latency=1\nedge a -> b flow\nend\n";
+        let out = run(&args(&["lint", "-"]), input).unwrap();
+        assert!(out.contains("no problems found"));
+    }
+
+    #[test]
+    fn lint_bad_input_exits_one_with_code_and_span() {
+        let input = "loop l\n  node a fadd latency=1\n  edge a -> a flow\nend\n";
+        let err = run(&args(&["lint", "-"]), input).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("error[L003]"), "{}", err.message);
+        assert!(err.message.contains("--> <stdin>:3:3"), "{}", err.message);
+        assert!(err.message.ends_with('\n'));
+    }
+
+    #[test]
+    fn lint_json_format_emits_one_object_per_finding() {
+        let input = "loop l\n  node a fadd latency=1\n  edge a -> a flow\nend\n";
+        let err = run(&args(&["lint", "-", "--format", "json"]), input).unwrap_err();
+        assert_eq!(err.code, 1);
+        let lines: Vec<&str> = err.message.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("{\"file\":\"<stdin>\",\"code\":\"L003\""));
+    }
+
+    #[test]
+    fn lint_autodetects_machine_inputs() {
+        let machine = run(&args(&["machine", "govindarajan"]), "").unwrap();
+        let out = run(&args(&["lint", "-"]), &machine).unwrap();
+        assert!(out.contains("no problems found"));
+        let err = run(&args(&["lint", "-"]), "machine m\n  zzz\nend\n").unwrap_err();
+        assert!(err.message.contains("error[M001]"), "{}", err.message);
+    }
+
+    #[test]
+    fn lint_machine_flag_enables_latency_checks() {
+        let input = "loop l\nnode a fdiv latency=3\nedge a -> a flow dist=1\nend\n";
+        assert!(run(&args(&["lint", "-"]), input).is_ok());
+        let err = run(&args(&["lint", "-", "--machine", "govindarajan"]), input).unwrap_err();
+        assert!(err.message.contains("warning[L007]"), "{}", err.message);
+    }
+
+    #[test]
+    fn schedule_certify_passes_and_emits_certificates() {
+        let input = "loop l\nnode a load latency=1\nnode b fadd latency=1\nedge a -> b flow\nend\n";
+        let out = run(
+            &args(&["schedule", "-", "--machine", "general-purpose", "--certify"]),
+            input,
+        )
+        .unwrap();
+        assert!(out.contains("certified: loop `l` x HRMS"), "{out}");
+        let out = run(
+            &args(&[
+                "schedule",
+                "-",
+                "--machine",
+                "general-purpose",
+                "--emit",
+                "json",
+                "--certify",
+            ]),
+            input,
+        )
+        .unwrap();
+        let cert_line = out
+            .lines()
+            .find(|l| l.contains("\"checks\":"))
+            .expect("certificate line");
+        assert!(cert_line.contains("\"passed\":true"));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`regalloc`] | register pressure, spill insertion, modulo variable expansion, rotating register allocation |
 //! | [`workloads`] | the paper's worked examples, a 24-loop reference suite, a synthetic Perfect-Club-like suite |
 //! | [`engine`] | parallel batch scheduling across a scoped worker pool with deterministic output order |
+//! | [`verify`] | diagnostics engine, DDG/machine lint pass, independent schedule certifier |
 //!
 //! # Quick start
 //!
@@ -61,6 +62,7 @@ pub use hrms_engine as engine;
 pub use hrms_machine as machine;
 pub use hrms_modsched as modsched;
 pub use hrms_regalloc as regalloc;
+pub use hrms_verify as verify;
 pub use hrms_workloads as workloads;
 
 pub mod cli;
@@ -85,6 +87,9 @@ pub mod prelude {
     pub use hrms_regalloc::{
         allocate_rotating, schedule_with_register_budget, CumulativeDistribution, PressureKind,
         RegisterPressure, SpillConfig,
+    };
+    pub use hrms_verify::{
+        certify, lint_loop_source, lint_machine_source, Certificate, Diagnostic, Severity,
     };
     pub use hrms_workloads::{motivating, reference24, synthetic, LoopGenerator};
 }

@@ -39,6 +39,7 @@ fn schedule_smoke_output_matches_the_golden_file() {
                     "hrms,slack",
                     "--machine",
                     machine,
+                    "--certify",
                 ]),
                 "",
             )
