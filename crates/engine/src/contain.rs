@@ -1,0 +1,129 @@
+//! Panic containment with payload and location capture.
+//!
+//! `std::panic::catch_unwind` returns the panic *payload*, but by the time
+//! the payload reaches the catcher the panic *location* (`file:line:col`)
+//! is gone — it is only observable inside the panic hook. Batch services
+//! care about both: when one cell of a thousand-loop batch dies, the error
+//! record streamed back to the client should say what panicked and where,
+//! not just that something did.
+//!
+//! [`run_contained`] bridges the two: a process-wide panic hook (installed
+//! once, chaining to the hook that was active before) checks a
+//! thread-local "armed" flag. While a thread runs inside `run_contained`,
+//! its panics are recorded — message plus location — into a thread-local
+//! slot and *not* printed to stderr (a contained panic is a structured
+//! result, not console noise); panics on every other thread fall through
+//! to the previous hook unchanged.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe, PanicHookInfo};
+use std::sync::Once;
+
+thread_local! {
+    /// Whether the current thread is inside [`run_contained`].
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    /// The rendered message of the most recent contained panic.
+    static CAPTURED: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static INSTALL: Once = Once::new();
+
+/// Renders a panic payload: the `&str`/`String` message when there is one,
+/// a placeholder otherwise (`std::panic::panic_any` with a non-string
+/// payload).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|m| (*m).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+fn capture_hook(info: &PanicHookInfo<'_>, previous: &dyn Fn(&PanicHookInfo<'_>)) {
+    if ARMED.with(Cell::get) {
+        let mut message = payload_message(info.payload());
+        if let Some(location) = info.location() {
+            message.push_str(&format!(
+                " at {}:{}:{}",
+                location.file(),
+                location.line(),
+                location.column()
+            ));
+        }
+        CAPTURED.with(|slot| *slot.borrow_mut() = Some(message));
+    } else {
+        previous(info);
+    }
+}
+
+fn install_hook() {
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| capture_hook(info, &*previous)));
+    });
+}
+
+/// Runs `f`, converting a panic into an `Err` describing it.
+///
+/// On the first call this installs a process-wide panic hook (chaining to
+/// whichever hook was active, so uncontained panics behave exactly as
+/// before). A panic inside `f` is captured silently — nothing is written
+/// to stderr — and the error carries the payload message plus the
+/// `file:line:col` panic location. If another component replaced the hook
+/// after installation, the location is unavailable and the error degrades
+/// to the payload message alone.
+pub fn run_contained<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_hook();
+    let was_armed = ARMED.with(|armed| armed.replace(true));
+    CAPTURED.with(|slot| slot.borrow_mut().take());
+    let result = catch_unwind(AssertUnwindSafe(f));
+    ARMED.with(|armed| armed.set(was_armed));
+    result.map_err(|payload| {
+        CAPTURED
+            .with(|slot| slot.borrow_mut().take())
+            .unwrap_or_else(|| payload_message(&*payload))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_passes_through() {
+        assert_eq!(run_contained(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn panic_message_and_location_are_captured() {
+        let err = run_contained(|| -> () { panic!("boom {}", 7) }).unwrap_err();
+        assert!(err.starts_with("boom 7 at "), "{err}");
+        assert!(err.contains("contain.rs:"), "{err}");
+    }
+
+    #[test]
+    fn str_payloads_are_captured() {
+        let err = run_contained(|| -> () { panic!("plain") }).unwrap_err();
+        assert!(err.starts_with("plain at "), "{err}");
+    }
+
+    #[test]
+    fn non_string_payloads_degrade_gracefully() {
+        let err = run_contained(|| -> () { std::panic::panic_any(13_u32) }).unwrap_err();
+        assert!(err.starts_with("non-string panic payload"), "{err}");
+    }
+
+    #[test]
+    fn nested_calls_restore_the_armed_state() {
+        let err = run_contained(|| {
+            // The inner containment consumes its own panic and restores
+            // the outer arming, so the outer panic is still captured with
+            // its location.
+            let inner = run_contained(|| -> () { panic!("inner") });
+            assert!(inner.unwrap_err().starts_with("inner at "));
+            panic!("outer")
+        })
+        .unwrap_err();
+        assert!(err.starts_with("outer at "), "{err}");
+    }
+}

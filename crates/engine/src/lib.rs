@@ -27,13 +27,38 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+mod contain;
+
 use std::num::NonZeroUsize;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hrms_ddg::Ddg;
 use hrms_machine::Machine;
 use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome};
+
+pub use cache::{CacheStats, ResultCache};
+pub use contain::run_contained;
+
+/// Runs one scheduler × loop cell with panic containment: a panic inside
+/// the scheduler becomes a [`SchedError::Internal`] carrying the panic
+/// message and source location (see [`run_contained`]) instead of
+/// unwinding into the worker pool.
+fn contained_cell(
+    scheduler: &(dyn ModuloScheduler + Sync),
+    ddg: &Ddg,
+    machine: &Machine,
+) -> Result<ScheduleOutcome, SchedError> {
+    run_contained(|| scheduler.schedule_loop(ddg, machine)).unwrap_or_else(|what| {
+        Err(SchedError::Internal {
+            what: format!(
+                "scheduler `{}` panicked on loop `{}`: {what}",
+                scheduler.name(),
+                ddg.name()
+            ),
+        })
+    })
+}
 
 /// A fixed-size scoped-thread worker pool for batches of independent work
 /// items. See the crate docs for the guarantees.
@@ -136,6 +161,21 @@ impl BatchEngine {
         self.map(loops, |_, ddg| scheduler.schedule_loop(ddg, machine))
     }
 
+    /// Like [`BatchEngine::schedule_batch`], but every cell is an isolation
+    /// boundary: a panicking scheduler yields a [`SchedError::Internal`]
+    /// carrying the panic message and source location in that cell instead
+    /// of unwinding through the pool. This is the entry point the batch
+    /// scheduling service (`hrms serve`) uses, where one poisoned loop must
+    /// never take down the batch or the connection.
+    pub fn schedule_batch_contained(
+        &self,
+        scheduler: &(dyn ModuloScheduler + Sync),
+        loops: &[Ddg],
+        machine: &Machine,
+    ) -> Vec<Result<ScheduleOutcome, SchedError>> {
+        self.map(loops, |_, ddg| contained_cell(scheduler, ddg, machine))
+    }
+
     /// Schedules the full cross product `schedulers × loops` on `machine`.
     ///
     /// Returns one row per scheduler, each holding the per-loop outcomes in
@@ -161,23 +201,7 @@ impl BatchEngine {
             .collect();
         let mut flat = self
             .map(&cells, |_, &(s, l)| {
-                catch_unwind(AssertUnwindSafe(|| {
-                    schedulers[s].schedule_loop(&loops[l], machine)
-                }))
-                .unwrap_or_else(|payload| {
-                    let what = payload
-                        .downcast_ref::<&str>()
-                        .map(|m| (*m).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    Err(SchedError::Internal {
-                        what: format!(
-                            "scheduler `{}` panicked on loop `{}`: {what}",
-                            schedulers[s].name(),
-                            loops[l].name()
-                        ),
-                    })
-                })
+                contained_cell(schedulers[s], &loops[l], machine)
             })
             .into_iter();
         schedulers
@@ -361,17 +385,15 @@ mod tests {
             }
         }
 
-        // Silence the default panic hook's stderr spew for the induced
-        // panics; restore it afterwards so other tests are unaffected.
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
+        // No hook juggling needed: contained panics are captured silently
+        // by the engine's own panic hook, so the induced failures do not
+        // spew to stderr in the first place.
         let loops = LoopGenerator::with_seed(9).generate(4);
         let machine = presets::govindarajan();
         let hrms = HrmsScheduler::new();
         let panicker = PanickingScheduler;
         let schedulers: Vec<&(dyn ModuloScheduler + Sync)> = vec![&hrms, &panicker];
         let grid = BatchEngine::with_workers(4).schedule_grid(&schedulers, &loops, &machine);
-        std::panic::set_hook(hook);
 
         assert!(grid[0].iter().all(Result::is_ok), "healthy row unaffected");
         for (cell, ddg) in grid[1].iter().zip(&loops) {
@@ -380,10 +402,59 @@ mod tests {
                     assert!(what.contains("panicker"), "{what}");
                     assert!(what.contains(&format!("`{}`", ddg.name())), "{what}");
                     assert!(what.contains("induced failure"), "{what}");
+                    // The capture hook preserves the panic site, so service
+                    // clients can see *where* a cell died, not just that it
+                    // did.
+                    assert!(what.contains("engine/src/lib.rs:"), "{what}");
                 }
                 other => panic!("expected Internal error, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn schedule_batch_contained_isolates_panicking_cells() {
+        struct SelectivePanicker;
+        impl ModuloScheduler for SelectivePanicker {
+            fn name(&self) -> &str {
+                "selective"
+            }
+            fn schedule_loop(
+                &self,
+                ddg: &Ddg,
+                machine: &Machine,
+            ) -> Result<ScheduleOutcome, SchedError> {
+                if ddg.name().ends_with('1') {
+                    panic!("unlucky loop `{}`", ddg.name())
+                }
+                HrmsScheduler::new().schedule_loop(ddg, machine)
+            }
+        }
+
+        let loops = LoopGenerator::with_seed(14).generate(8);
+        let machine = presets::perfect_club();
+        let results = BatchEngine::with_workers(4).schedule_batch_contained(
+            &SelectivePanicker,
+            &loops,
+            &machine,
+        );
+        assert_eq!(results.len(), loops.len());
+        let mut panicked = 0;
+        for (result, ddg) in results.iter().zip(&loops) {
+            if ddg.name().ends_with('1') {
+                panicked += 1;
+                match result {
+                    Err(SchedError::Internal { what }) => {
+                        assert!(what.contains("unlucky"), "{what}");
+                        assert!(what.contains("engine/src/lib.rs:"), "{what}");
+                    }
+                    other => panic!("expected Internal error, got {other:?}"),
+                }
+            } else {
+                assert!(result.is_ok(), "loop `{}`", ddg.name());
+            }
+        }
+        assert!(panicked >= 1, "the generated names include a ...1 loop");
     }
 
     #[test]

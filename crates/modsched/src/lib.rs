@@ -43,7 +43,7 @@ pub use lifetime::{LifetimeAnalysis, ValueLifetime};
 pub use mii::{dependence_latency, MiiInfo};
 pub use mrt::ModuloReservationTable;
 pub use partial::PartialSchedule;
-pub use report::{report_line, ReportOptions};
+pub use report::{error_line, push_json_str, report_line, ReportOptions};
 pub use schedule::Schedule;
 pub use scheduler::{ModuloScheduler, ScheduleMetrics, ScheduleOutcome, SchedulerConfig};
 pub use validate::{validate_schedule, ValidationError};

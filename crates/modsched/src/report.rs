@@ -31,7 +31,11 @@ pub struct ReportOptions {
 }
 
 /// Appends `s` as a JSON string literal (with escapes) to `out`.
-fn push_json_str(out: &mut String, s: &str) {
+///
+/// Public because every hand-rolled JSON writer in the workspace (schedule
+/// reports here, the service protocol in `hrms-serve`) must escape strings
+/// identically for the records to stay byte-stable across layers.
+pub fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -135,6 +139,28 @@ pub fn report_line(
     out
 }
 
+/// Serialises one *failed* schedule cell as a single JSON line (no
+/// trailing newline): the identifying fields of [`report_line`] plus the
+/// error text, so a stream mixing successes and failures stays
+/// line-oriented and machine-splittable.
+///
+/// `machine` is the machine *name* rather than a [`Machine`]: some
+/// failures (e.g. a panic captured at an isolation boundary) leave no
+/// schedule to describe, and the caller may only have the name at hand.
+pub fn error_line(loop_name: &str, scheduler: &str, machine: &str, error: &str) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"loop\":");
+    push_json_str(&mut out, loop_name);
+    out.push_str(",\"scheduler\":");
+    push_json_str(&mut out, scheduler);
+    out.push_str(",\"machine\":");
+    push_json_str(&mut out, machine);
+    out.push_str(",\"error\":");
+    push_json_str(&mut out, error);
+    out.push('}');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +234,22 @@ mod tests {
         let mut out = String::new();
         push_json_str(&mut out, "a\u{1}b\tc\\d");
         assert_eq!(out, "\"a\\u0001b\\tc\\\\d\"");
+    }
+
+    #[test]
+    fn error_lines_are_single_escaped_json_objects() {
+        let line = error_line(
+            "weird \"loop\"",
+            "HRMS",
+            "govindarajan-4fu",
+            "boom\nat line 2",
+        );
+        assert_eq!(
+            line,
+            "{\"loop\":\"weird \\\"loop\\\"\",\"scheduler\":\"HRMS\",\
+             \"machine\":\"govindarajan-4fu\",\"error\":\"boom\\nat line 2\"}"
+        );
+        assert!(!line.contains('\n'), "one record = one line");
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Request parsing and response-record rendering.
+//!
+//! One protocol message is one line of JSON in each direction; the full
+//! schema — field tables, ordering and caching guarantees, the error
+//! taxonomy — is documented in `docs/SERVICE.md`. This module owns the
+//! exact bytes: requests are decoded from [`crate::json::Value`]s, and
+//! responses are rendered by *splicing an envelope onto the existing
+//! report records* from [`hrms_modsched::report_line`] /
+//! [`hrms_modsched::error_line`], so a service result carries exactly the
+//! same fields, bytes and digests as `hrms schedule --emit json` on the
+//! same input — the envelope (`type`, `id`, `index`) is prepended, nothing
+//! else changes.
+
+use std::fmt::Write as _;
+
+use hrms_engine::CacheStats;
+use hrms_modsched::push_json_str;
+
+use crate::json::{self, Value};
+
+/// Whether `text` looks like Graphviz DOT rather than the `.loop` format:
+/// the first line that is neither blank nor a `#` comment starts a DOT
+/// construct.
+pub fn looks_like_dot(text: &str) -> bool {
+    for line in text.lines() {
+        let t = line.trim_start();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        return t.starts_with("digraph")
+            || t.starts_with("strict")
+            || t.starts_with("//")
+            || t.starts_with("/*");
+    }
+    false
+}
+
+/// Whether `text` looks like a `.machine` description: the first line that
+/// is neither blank nor a `#` comment starts with the `machine` keyword.
+pub fn looks_like_machine(text: &str) -> bool {
+    for line in text.lines() {
+        let t = line.trim_start();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        return t == "machine" || t.starts_with("machine ");
+    }
+    false
+}
+
+/// A decoded `schedule` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    /// Client-chosen id, echoed verbatim on every response record.
+    pub id: Value,
+    /// Scheduler slug (`crate::registry::scheduler_by_slug`).
+    pub scheduler: String,
+    /// Machine preset name or inline `.machine` text.
+    pub machine: String,
+    /// Loop entries: `.loop` text (possibly multi-loop) or DOT,
+    /// auto-detected per entry.
+    pub loops: Vec<String>,
+    /// Whether this request may read from and populate the result cache.
+    pub cache: bool,
+    /// Include wall-clock timing fields; implies a cache bypass (cached
+    /// records deliberately carry no timing).
+    pub timing: bool,
+}
+
+/// A decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Schedule a batch of loops.
+    Schedule(ScheduleRequest),
+    /// Report cache and service counters.
+    Stats {
+        /// Echoed id.
+        id: Value,
+    },
+    /// Drain and exit.
+    Shutdown {
+        /// Echoed id.
+        id: Value,
+    },
+}
+
+/// A request that could not be decoded or validated; rendered as a
+/// `stage:"request"` error record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// The request id when it could be recovered, `null` otherwise.
+    pub id: Value,
+    /// What went wrong.
+    pub message: String,
+    /// Pre-rendered diagnostic JSON objects
+    /// ([`hrms_verify::Diagnostic::render_json`]) locating the problem in
+    /// the offending source text, when the span machinery applies.
+    pub diagnostics: Vec<String>,
+}
+
+impl RequestError {
+    /// An error with no source diagnostics.
+    pub fn new(id: Value, message: impl Into<String>) -> Self {
+        RequestError {
+            id,
+            message: message.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+}
+
+fn string_field(obj: &Value, id: &Value, key: &str, default: &str) -> Result<String, RequestError> {
+    match obj.get(key) {
+        None => Ok(default.to_string()),
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(RequestError::new(
+            id.clone(),
+            format!("`{key}` must be a string"),
+        )),
+    }
+}
+
+fn bool_field(obj: &Value, id: &Value, key: &str, default: bool) -> Result<bool, RequestError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(RequestError::new(
+            id.clone(),
+            format!("`{key}` must be a boolean"),
+        )),
+    }
+}
+
+/// Decodes one request line.
+///
+/// Unknown *fields* are ignored (forward compatibility); an unknown *`req`
+/// verb*, a JSON syntax error or a wrongly-typed field is a
+/// [`RequestError`].
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value = json::parse(line)
+        .map_err(|e| RequestError::new(Value::Null, format!("request is not valid JSON: {e}")))?;
+    if !matches!(value, Value::Obj(_)) {
+        return Err(RequestError::new(
+            Value::Null,
+            "request must be a JSON object",
+        ));
+    }
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    let req = match value.get("req") {
+        Some(Value::Str(s)) => s.clone(),
+        Some(_) => {
+            return Err(RequestError::new(id, "`req` must be a string"));
+        }
+        None => {
+            return Err(RequestError::new(
+                id,
+                "missing `req` field (schedule, stats or shutdown)",
+            ));
+        }
+    };
+    match req.as_str() {
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "schedule" => {
+            let scheduler = string_field(&value, &id, "scheduler", "hrms")?;
+            let machine = string_field(&value, &id, "machine", "govindarajan")?;
+            let cache = bool_field(&value, &id, "cache", true)?;
+            let timing = bool_field(&value, &id, "timing", false)?;
+            let loops = match value.get("loops") {
+                Some(Value::Arr(items)) if !items.is_empty() => {
+                    let mut texts = Vec::with_capacity(items.len());
+                    for (i, item) in items.iter().enumerate() {
+                        match item {
+                            Value::Str(s) => texts.push(s.clone()),
+                            _ => {
+                                return Err(RequestError::new(
+                                    id,
+                                    format!("loops[{i}] must be a string of `.loop` or DOT text"),
+                                ));
+                            }
+                        }
+                    }
+                    texts
+                }
+                Some(Value::Arr(_)) => {
+                    return Err(RequestError::new(id, "`loops` must not be empty"));
+                }
+                Some(_) | None => {
+                    return Err(RequestError::new(
+                        id,
+                        "missing `loops` field (array of `.loop` or DOT strings)",
+                    ));
+                }
+            };
+            Ok(Request::Schedule(ScheduleRequest {
+                id,
+                scheduler,
+                machine,
+                loops,
+                cache,
+                timing,
+            }))
+        }
+        other => Err(RequestError::new(
+            id,
+            format!("unknown request `{other}` (schedule, stats or shutdown)"),
+        )),
+    }
+}
+
+/// `{"type":"result","id":...,"index":N,` + the report line's own fields.
+pub fn result_record(id: &Value, index: usize, report_line: &str) -> String {
+    debug_assert!(report_line.starts_with('{'));
+    format!(
+        "{{\"type\":\"result\",\"id\":{},\"index\":{index},{}",
+        id.to_json(),
+        &report_line[1..]
+    )
+}
+
+/// `{"type":"error","id":...,"index":N,"stage":"schedule",` + the error
+/// line's own fields.
+pub fn cell_error_record(id: &Value, index: usize, error_line: &str) -> String {
+    debug_assert!(error_line.starts_with('{'));
+    format!(
+        "{{\"type\":\"error\",\"id\":{},\"index\":{index},\"stage\":\"schedule\",{}",
+        id.to_json(),
+        &error_line[1..]
+    )
+}
+
+/// A request-stage error record, with optional embedded diagnostics.
+pub fn request_error_record(err: &RequestError) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"type\":\"error\",\"id\":{},\"stage\":\"request\",\"error\":",
+        err.id.to_json()
+    );
+    push_json_str(&mut out, &err.message);
+    if !err.diagnostics.is_empty() {
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in err.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(d);
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+/// The batch terminator record.
+pub fn done_record(id: &Value, results: usize, errors: usize) -> String {
+    format!(
+        "{{\"type\":\"done\",\"id\":{},\"results\":{results},\"errors\":{errors}}}",
+        id.to_json()
+    )
+}
+
+/// The `stats` response record.
+pub fn stats_record(
+    id: &Value,
+    cache: CacheStats,
+    requests: u64,
+    results: u64,
+    errors: u64,
+) -> String {
+    format!(
+        "{{\"type\":\"stats\",\"id\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\
+         \"entries\":{},\"capacity\":{},\"requests\":{requests},\"results\":{results},\
+         \"errors\":{errors}}}",
+        id.to_json(),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.entries,
+        cache.capacity
+    )
+}
+
+/// The shutdown acknowledgement record.
+pub fn bye_record(id: &Value) -> String {
+    format!("{{\"type\":\"bye\",\"id\":{}}}", id.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_requests_parse_with_defaults() {
+        let r = parse_request(r#"{"req":"schedule","loops":["loop l\nnode a op latency=1\nend"]}"#)
+            .unwrap();
+        match r {
+            Request::Schedule(s) => {
+                assert_eq!(s.id, Value::Null);
+                assert_eq!(s.scheduler, "hrms");
+                assert_eq!(s.machine, "govindarajan");
+                assert!(s.cache);
+                assert!(!s.timing);
+                assert_eq!(s.loops.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ids_are_preserved_verbatim() {
+        let r = parse_request(r#"{"req":"stats","id":1e2}"#).unwrap();
+        match r {
+            Request::Stats { id } => assert_eq!(id.to_json(), "1e2"),
+            other => panic!("{other:?}"),
+        }
+        let r = parse_request(r#"{"req":"shutdown","id":"x-1"}"#).unwrap();
+        match r {
+            Request::Shutdown { id } => assert_eq!(id.to_json(), "\"x-1\""),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        let e = parse_request("{").unwrap_err();
+        assert!(e.message.contains("not valid JSON"), "{}", e.message);
+        let e = parse_request("[1]").unwrap_err();
+        assert!(e.message.contains("JSON object"), "{}", e.message);
+        let e = parse_request(r#"{"id":"k"}"#).unwrap_err();
+        assert_eq!(e.id.to_json(), "\"k\"", "id recovered before the error");
+        assert!(e.message.contains("missing `req`"), "{}", e.message);
+        let e = parse_request(r#"{"req":"frobnicate"}"#).unwrap_err();
+        assert!(e.message.contains("unknown request"), "{}", e.message);
+        let e = parse_request(r#"{"req":"schedule"}"#).unwrap_err();
+        assert!(e.message.contains("missing `loops`"), "{}", e.message);
+        let e = parse_request(r#"{"req":"schedule","loops":[]}"#).unwrap_err();
+        assert!(e.message.contains("must not be empty"), "{}", e.message);
+        let e = parse_request(r#"{"req":"schedule","loops":[7]}"#).unwrap_err();
+        assert!(e.message.contains("loops[0]"), "{}", e.message);
+        let e = parse_request(r#"{"req":"schedule","loops":["x"],"cache":"yes"}"#).unwrap_err();
+        assert!(e.message.contains("`cache` must be"), "{}", e.message);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let r = parse_request(r#"{"req":"stats","future":"field"}"#).unwrap();
+        assert!(matches!(r, Request::Stats { .. }));
+    }
+
+    #[test]
+    fn envelope_splicing_preserves_the_inner_fields() {
+        let inner = "{\"loop\":\"l\",\"x\":1}";
+        let rec = result_record(&Value::Str("r1".into()), 3, inner);
+        assert_eq!(
+            rec,
+            "{\"type\":\"result\",\"id\":\"r1\",\"index\":3,\"loop\":\"l\",\"x\":1}"
+        );
+        assert!(rec.ends_with(&inner[1..]), "inner record embedded verbatim");
+        let rec = cell_error_record(&Value::Null, 0, "{\"loop\":\"l\",\"error\":\"e\"}");
+        assert_eq!(
+            rec,
+            "{\"type\":\"error\",\"id\":null,\"index\":0,\"stage\":\"schedule\",\
+             \"loop\":\"l\",\"error\":\"e\"}"
+        );
+    }
+
+    #[test]
+    fn detectors_classify_the_three_formats() {
+        assert!(looks_like_dot("# comment\ndigraph g {}"));
+        assert!(looks_like_dot("strict digraph g {}"));
+        assert!(!looks_like_dot("loop l\nend"));
+        assert!(looks_like_machine("\nmachine m\nend"));
+        assert!(!looks_like_machine("loop l\nend"));
+        assert!(!looks_like_machine("machinery"));
+    }
+}

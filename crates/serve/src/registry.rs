@@ -1,0 +1,168 @@
+//! Name-based registries shared by the CLI and the batch service:
+//! scheduler slugs and machine references.
+//!
+//! The library crates expose schedulers as concrete types; every
+//! string-driven harness — the `hrms` CLI, the `hrms serve` protocol —
+//! needs to go from a stable slug to a boxed [`ModuloScheduler`]. The
+//! slugs here — not the display names returned by
+//! [`ModuloScheduler::name`] — are the contract documented in
+//! `docs/CLI.md` and `docs/SERVICE.md`. The registry lives in this crate
+//! (rather than the facade) so the service can resolve schedulers without
+//! a dependency cycle; the facade re-exports it unchanged.
+
+use hrms_baselines::{
+    BottomUpScheduler, BranchAndBoundScheduler, FrlcScheduler, IterativeScheduler, SlackScheduler,
+    TopDownScheduler,
+};
+use hrms_core::HrmsScheduler;
+use hrms_ddg::Ddg;
+use hrms_machine::{presets, Machine};
+use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome};
+
+/// A scheduler that can be shared across the engine's worker threads.
+pub type BoxedScheduler = Box<dyn ModuloScheduler + Sync + Send>;
+
+/// CLI slugs of every scheduler, in the fixed order used by
+/// `--scheduler all`: HRMS first, then the baselines in the order the
+/// paper's comparison tables list them.
+pub const SCHEDULER_SLUGS: [&str; 7] = [
+    "hrms",
+    "top-down",
+    "bottom-up",
+    "slack",
+    "frlc",
+    "iterative",
+    "bnb",
+];
+
+/// A deliberately broken scheduler for fault-injection drills: it panics
+/// on every loop. Resolved by the `chaos` slug but never listed in
+/// [`SCHEDULER_SLUGS`], so `--scheduler all` and `hrms list` stay clean.
+/// The service tests (and operators rehearsing failure handling) use it to
+/// prove that a panicking cell degrades to a structured error record
+/// without terminating the batch or the connection (`docs/SERVICE.md`).
+struct ChaosScheduler;
+
+impl ModuloScheduler for ChaosScheduler {
+    fn name(&self) -> &str {
+        "Chaos"
+    }
+
+    fn schedule_loop(&self, ddg: &Ddg, _machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
+        panic!("chaos scheduler always panics (loop `{}`)", ddg.name())
+    }
+}
+
+/// Resolves a scheduler by its [`SCHEDULER_SLUGS`] slug (or the hidden
+/// `chaos` fault-injection slug).
+///
+/// Every scheduler is built with its default configuration — the same
+/// configuration the in-process harnesses use, so CLI and service results
+/// are comparable with library results.
+pub fn scheduler_by_slug(slug: &str) -> Option<BoxedScheduler> {
+    Some(match slug {
+        "hrms" => Box::new(HrmsScheduler::new()),
+        "top-down" => Box::new(TopDownScheduler::new()),
+        "bottom-up" => Box::new(BottomUpScheduler::new()),
+        "slack" => Box::new(SlackScheduler::new()),
+        "frlc" => Box::new(FrlcScheduler::new()),
+        "iterative" => Box::new(IterativeScheduler::new()),
+        "bnb" => Box::new(BranchAndBoundScheduler::new()),
+        "chaos" => Box::new(ChaosScheduler),
+        _ => return None,
+    })
+}
+
+/// All schedulers in [`SCHEDULER_SLUGS`] order.
+pub fn all_schedulers() -> Vec<BoxedScheduler> {
+    SCHEDULER_SLUGS
+        .iter()
+        .map(|s| scheduler_by_slug(s).expect("every listed slug resolves"))
+        .collect()
+}
+
+/// Resolves a `--machine` argument: first as a preset slug
+/// ([`presets::by_name`]), then as a path to a `.machine` file.
+///
+/// This is the *CLI* resolution rule — it touches the filesystem. The
+/// service protocol resolves machines with
+/// [`crate::resolve_machine_request`] instead, which deliberately never
+/// reads files on behalf of a remote client.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the name is neither a preset nor
+/// a readable, well-formed machine file.
+pub fn resolve_machine(name: &str) -> Result<Machine, String> {
+    if let Some(machine) = presets::by_name(name) {
+        return Ok(machine);
+    }
+    match std::fs::read_to_string(name) {
+        Ok(text) => hrms_machine::parse_machine(&text).map_err(|e| format!("{name}: {e}")),
+        Err(io) => Err(format!(
+            "`{name}` is neither a machine preset ({}) nor a readable file: {io}",
+            presets::PRESET_NAMES.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_slug_resolves_to_a_distinct_scheduler() {
+        let names: Vec<String> = all_schedulers().iter().map(|s| s.name().into()).collect();
+        assert_eq!(names.len(), SCHEDULER_SLUGS.len());
+        let expected = [
+            "HRMS",
+            "Top-Down",
+            "Bottom-Up",
+            "Slack",
+            "FRLC",
+            "Iterative",
+            "B&B (SPILP stand-in)",
+        ];
+        assert_eq!(names, expected);
+        assert!(scheduler_by_slug("HRMS").is_none(), "slugs are lowercase");
+    }
+
+    #[test]
+    fn machine_presets_resolve_and_bad_names_explain_themselves() {
+        assert_eq!(
+            resolve_machine("govindarajan").unwrap().name(),
+            "govindarajan-4fu"
+        );
+        let err = resolve_machine("no-such-machine").unwrap_err();
+        assert!(
+            err.contains("perfect-club"),
+            "error lists the presets: {err}"
+        );
+    }
+
+    #[test]
+    fn chaos_resolves_but_stays_out_of_the_listing() {
+        let chaos = scheduler_by_slug("chaos").expect("chaos slug resolves");
+        assert_eq!(chaos.name(), "Chaos");
+        assert!(!SCHEDULER_SLUGS.contains(&"chaos"));
+    }
+
+    #[test]
+    fn chaos_panics_are_contained_by_the_engine() {
+        let chaos = scheduler_by_slug("chaos").unwrap();
+        let loops = [hrms_ddg::chain("victim", 3, hrms_ddg::OpKind::FpAdd, 1)];
+        let results = hrms_engine::BatchEngine::with_workers(2).schedule_batch_contained(
+            &*chaos,
+            &loops,
+            &presets::govindarajan(),
+        );
+        match &results[0] {
+            Err(SchedError::Internal { what }) => {
+                assert!(what.contains("chaos scheduler always panics"), "{what}");
+                assert!(what.contains("`victim`"), "{what}");
+                assert!(what.contains("registry.rs:"), "{what}");
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+    }
+}

@@ -6,6 +6,17 @@ use std::io::{Read, Write};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    // `serve` is a long-running stream, not a read-everything-then-answer
+    // command: it owns stdin/stdout (or a socket) directly so responses
+    // are flushed as each request completes.
+    if args.first().map(String::as_str) == Some("serve") {
+        if let Err(e) = hrms_repro::cli::serve_streaming(&args[1..]) {
+            eprintln!("hrms: {e}");
+            std::process::exit(e.code);
+        }
+        return;
+    }
+
     // Only pay for reading stdin when some input source asks for it.
     let mut stdin = String::new();
     if args.iter().any(|a| a == "-") {

@@ -12,6 +12,7 @@ use hrms_ddg::{dot, parse_loops, textfmt, Ddg};
 use hrms_engine::BatchEngine;
 use hrms_machine::{presets, write_machine, Machine};
 use hrms_modsched::{report_line, ModuloScheduler, ReportOptions, ScheduleOutcome};
+use hrms_serve::{looks_like_dot, looks_like_machine, ServeConfig, Service};
 use hrms_verify::{certify, lint_dot_source, lint_loop_source, lint_machine_source, Diagnostic};
 
 use crate::registry::{
@@ -69,6 +70,7 @@ USAGE:
     hrms lint     <FILE|->...  [--machine <preset|file>] [--format text|json]
     hrms convert  <FILE|->...  --to loop|dot
     hrms machine  <preset|file>
+    hrms serve    [--socket PATH] [--workers N] [--cache-capacity N] [--no-cache]
     hrms list
     hrms help
 
@@ -77,7 +79,10 @@ Loop inputs are `.loop` files (docs/FORMATS.md) or Graphviz DOT files
 comma-separated list of slugs (default: hrms). `lint` also accepts
 `.machine` inputs (auto-detected) and exits 1 when it finds anything
 (docs/DIAGNOSTICS.md); `--certify` re-checks every produced schedule with
-the independent certifier from hrms-verify.
+the independent certifier from hrms-verify. `serve` runs the batch
+scheduling service: JSON-lines requests on stdin (or a Unix socket),
+results streamed back in input order with a content-addressed cache
+(docs/SERVICE.md).
 ";
 
 /// Runs the CLI with the given arguments (excluding the program name) and
@@ -94,6 +99,7 @@ pub fn run(args: &[String], stdin: &str) -> Result<String, CliError> {
         Some("lint") => cmd_lint(&args[1..], stdin),
         Some("convert") => cmd_convert(&args[1..], stdin),
         Some("machine") => cmd_machine(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..], stdin),
         Some("list") => Ok(cmd_list()),
         Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::usage(format!(
@@ -109,36 +115,6 @@ fn read_source(source: &str, stdin: &str) -> Result<String, CliError> {
     }
     std::fs::read_to_string(source)
         .map_err(|e| CliError::data(format!("cannot read `{source}`: {e}")))
-}
-
-/// Whether `text` looks like Graphviz DOT rather than the `.loop` format:
-/// the first line that is neither blank nor a `#` comment starts a DOT
-/// construct.
-fn looks_like_dot(text: &str) -> bool {
-    for line in text.lines() {
-        let t = line.trim_start();
-        if t.is_empty() || t.starts_with('#') {
-            continue;
-        }
-        return t.starts_with("digraph")
-            || t.starts_with("strict")
-            || t.starts_with("//")
-            || t.starts_with("/*");
-    }
-    false
-}
-
-/// Whether `text` looks like a `.machine` description: the first line that
-/// is neither blank nor a `#` comment starts with the `machine` keyword.
-fn looks_like_machine(text: &str) -> bool {
-    for line in text.lines() {
-        let t = line.trim_start();
-        if t.is_empty() || t.starts_with('#') {
-            continue;
-        }
-        return t == "machine" || t.starts_with("machine ");
-    }
-    false
 }
 
 /// Parses one input source into its loops (a `.loop` file may hold several;
@@ -479,6 +455,91 @@ fn cmd_convert(args: &[String], stdin: &str) -> Result<String, CliError> {
         ))),
         None => Err(CliError::usage("`convert` needs `--to loop|dot`")),
     }
+}
+
+/// The parsed options of `hrms serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Pool size and cache settings for the [`Service`].
+    pub config: ServeConfig,
+    /// `--socket PATH`: serve a Unix socket instead of stdin/stdout.
+    pub socket: Option<std::path::PathBuf>,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut config = ServeConfig::default();
+    let mut socket = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let v = flag_value(&mut it, "--workers")?;
+                config.workers = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("`--workers` needs a number, got `{v}`"))
+                })?);
+            }
+            "--cache-capacity" => {
+                let v = flag_value(&mut it, "--cache-capacity")?;
+                config.cache_capacity = v.parse().map_err(|_| {
+                    CliError::usage(format!("`--cache-capacity` needs a number, got `{v}`"))
+                })?;
+            }
+            "--no-cache" => config.cache = false,
+            "--socket" => socket = Some(flag_value(&mut it, "--socket")?.into()),
+            other => {
+                return Err(CliError::usage(format!(
+                    "`serve` does not take `{other}` (flags: --socket, --workers, \
+                     --cache-capacity, --no-cache)"
+                )));
+            }
+        }
+    }
+    Ok(ServeArgs { config, socket })
+}
+
+/// `hrms serve` driven entirely in-process: every request line of `stdin`
+/// is handled (drain semantics — a `shutdown` mid-stream stops there) and
+/// the full response stream is returned. The binary uses
+/// [`serve_streaming`] instead so responses are flushed per request; the
+/// bytes are identical.
+fn cmd_serve(args: &[String], stdin: &str) -> Result<String, CliError> {
+    let parsed = parse_serve_args(args)?;
+    if parsed.socket.is_some() {
+        return Err(CliError::usage(
+            "`--socket` mode must be run by the hrms binary, not in-process",
+        ));
+    }
+    Ok(Service::new(&parsed.config).process(stdin).0)
+}
+
+/// `hrms serve` as the binary runs it: streams stdin→stdout (flushing after
+/// every request) or serves `--socket PATH`, blocking until EOF or a
+/// `shutdown` request.
+///
+/// This is the one subcommand that owns its own I/O instead of going
+/// through [`run`]: a service must answer requests as they arrive, not
+/// after stdin closes.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for bad flags (exit 2) or transport I/O failures
+/// (exit 1); protocol-level problems are answered on the stream instead.
+pub fn serve_streaming(args: &[String]) -> Result<(), CliError> {
+    let parsed = parse_serve_args(args)?;
+    let mut service = Service::new(&parsed.config);
+    match parsed.socket {
+        Some(path) => service
+            .serve_unix(&path)
+            .map_err(|e| CliError::data(format!("serve: {}: {e}", path.display())))?,
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            service
+                .run(stdin.lock(), stdout.lock())
+                .map_err(|e| CliError::data(format!("serve: {e}")))?;
+        }
+    }
+    Ok(())
 }
 
 fn cmd_machine(args: &[String]) -> Result<String, CliError> {

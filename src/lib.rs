@@ -19,6 +19,7 @@
 //! | [`workloads`] | the paper's worked examples, a 24-loop reference suite, a synthetic Perfect-Club-like suite |
 //! | [`engine`] | parallel batch scheduling across a scoped worker pool with deterministic output order |
 //! | [`verify`] | diagnostics engine, DDG/machine lint pass, independent schedule certifier |
+//! | [`serve`] | batch scheduling service: JSON-lines protocol over pipes or a Unix socket, content-addressed result cache |
 //!
 //! # Quick start
 //!
@@ -62,6 +63,7 @@ pub use hrms_engine as engine;
 pub use hrms_machine as machine;
 pub use hrms_modsched as modsched;
 pub use hrms_regalloc as regalloc;
+pub use hrms_serve as serve;
 pub use hrms_verify as verify;
 pub use hrms_workloads as workloads;
 

@@ -1,113 +1,11 @@
 //! Name-based registries for the CLI: scheduler slugs and machine
 //! references.
 //!
-//! The library crates expose schedulers as concrete types; the CLI (and any
-//! other string-driven harness) needs to go from a stable command-line slug
-//! to a boxed [`ModuloScheduler`]. The slugs here — not the display names
-//! returned by [`ModuloScheduler::name`] — are the CLI contract documented
-//! in `docs/CLI.md`.
+//! The registry implementation lives in [`hrms_serve::registry`] so the
+//! batch service can resolve schedulers without depending on this facade;
+//! it is re-exported here unchanged to keep `hrms_repro::registry` the
+//! stable path the CLI and its tests use.
 
-use hrms_baselines::{
-    BottomUpScheduler, BranchAndBoundScheduler, FrlcScheduler, IterativeScheduler, SlackScheduler,
-    TopDownScheduler,
+pub use hrms_serve::registry::{
+    all_schedulers, resolve_machine, scheduler_by_slug, BoxedScheduler, SCHEDULER_SLUGS,
 };
-use hrms_core::HrmsScheduler;
-use hrms_machine::{presets, Machine};
-use hrms_modsched::ModuloScheduler;
-
-/// A scheduler that can be shared across the engine's worker threads.
-pub type BoxedScheduler = Box<dyn ModuloScheduler + Sync + Send>;
-
-/// CLI slugs of every scheduler, in the fixed order used by
-/// `--scheduler all`: HRMS first, then the baselines in the order the
-/// paper's comparison tables list them.
-pub const SCHEDULER_SLUGS: [&str; 7] = [
-    "hrms",
-    "top-down",
-    "bottom-up",
-    "slack",
-    "frlc",
-    "iterative",
-    "bnb",
-];
-
-/// Resolves a scheduler by its [`SCHEDULER_SLUGS`] slug.
-///
-/// Every scheduler is built with its default configuration — the same
-/// configuration the in-process harnesses use, so CLI results are
-/// comparable with library results.
-pub fn scheduler_by_slug(slug: &str) -> Option<BoxedScheduler> {
-    Some(match slug {
-        "hrms" => Box::new(HrmsScheduler::new()),
-        "top-down" => Box::new(TopDownScheduler::new()),
-        "bottom-up" => Box::new(BottomUpScheduler::new()),
-        "slack" => Box::new(SlackScheduler::new()),
-        "frlc" => Box::new(FrlcScheduler::new()),
-        "iterative" => Box::new(IterativeScheduler::new()),
-        "bnb" => Box::new(BranchAndBoundScheduler::new()),
-        _ => return None,
-    })
-}
-
-/// All schedulers in [`SCHEDULER_SLUGS`] order.
-pub fn all_schedulers() -> Vec<BoxedScheduler> {
-    SCHEDULER_SLUGS
-        .iter()
-        .map(|s| scheduler_by_slug(s).expect("every listed slug resolves"))
-        .collect()
-}
-
-/// Resolves a `--machine` argument: first as a preset slug
-/// ([`presets::by_name`]), then as a path to a `.machine` file.
-///
-/// # Errors
-///
-/// Returns a human-readable message when the name is neither a preset nor a
-/// readable, well-formed machine file.
-pub fn resolve_machine(name: &str) -> Result<Machine, String> {
-    if let Some(machine) = presets::by_name(name) {
-        return Ok(machine);
-    }
-    match std::fs::read_to_string(name) {
-        Ok(text) => hrms_machine::parse_machine(&text).map_err(|e| format!("{name}: {e}")),
-        Err(io) => Err(format!(
-            "`{name}` is neither a machine preset ({}) nor a readable file: {io}",
-            presets::PRESET_NAMES.join(", ")
-        )),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn every_slug_resolves_to_a_distinct_scheduler() {
-        let names: Vec<String> = all_schedulers().iter().map(|s| s.name().into()).collect();
-        assert_eq!(names.len(), SCHEDULER_SLUGS.len());
-        let expected = [
-            "HRMS",
-            "Top-Down",
-            "Bottom-Up",
-            "Slack",
-            "FRLC",
-            "Iterative",
-            "B&B (SPILP stand-in)",
-        ];
-        assert_eq!(names, expected);
-        assert!(scheduler_by_slug("HRMS").is_none(), "slugs are lowercase");
-    }
-
-    #[test]
-    fn machine_presets_resolve_and_bad_names_explain_themselves() {
-        assert_eq!(
-            resolve_machine("govindarajan").unwrap().name(),
-            "govindarajan-4fu"
-        );
-        let err = resolve_machine("no-such-machine").unwrap_err();
-        assert!(
-            err.contains("perfect-club"),
-            "error lists the presets: {err}"
-        );
-    }
-}

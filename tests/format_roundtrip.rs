@@ -164,6 +164,76 @@ fn generated_loops_schedule_identically_after_import() {
     }
 }
 
+/// Service result records are ordinary JSON that round-trips through the
+/// service's own parser, and they carry exactly the same digests, cache
+/// key and report fields as `hrms schedule --emit json` on the same input:
+/// the record is the CLI report line with the `type`/`id`/`index` envelope
+/// spliced on, nothing else.
+#[test]
+fn service_records_round_trip_and_match_the_cli_report() {
+    use hrms_repro::serve::{json, Service};
+
+    let machine = presets::govindarajan();
+    let scheduler = HrmsScheduler::new();
+    let loops: Vec<Ddg> = corpus()
+        .into_iter()
+        .filter(|g| scheduler.schedule_loop(g, &machine).is_ok())
+        .take(60)
+        .collect();
+    let text = write_loops(&loops);
+
+    let cli_out = hrms_repro::cli::run(
+        &["schedule", "-", "--emit", "json"].map(String::from),
+        &text,
+    )
+    .expect("every kept loop schedules");
+    let cli_lines: Vec<&str> = cli_out.lines().collect();
+    assert_eq!(cli_lines.len(), loops.len());
+
+    let mut entry = String::new();
+    hrms_repro::modsched::push_json_str(&mut entry, &text);
+    let (serve_out, _) = Service::default().process(&format!(
+        "{{\"req\":\"schedule\",\"id\":\"rt\",\"loops\":[{entry}]}}\n"
+    ));
+    let records: Vec<&str> = serve_out
+        .lines()
+        .filter(|l| l.starts_with("{\"type\":\"result\""))
+        .collect();
+    assert_eq!(records.len(), loops.len());
+
+    for ((record, cli_line), ddg) in records.iter().zip(&cli_lines).zip(&loops) {
+        // The record is the CLI line plus the envelope, byte for byte.
+        assert!(
+            record.ends_with(&cli_line[1..]),
+            "loop `{}`:\nservice: {record}\ncli:     {cli_line}",
+            ddg.name()
+        );
+        // It parses as JSON, renders back to the identical bytes, and its
+        // digest fields are the fingerprint functions' values verbatim.
+        let value = json::parse(record)
+            .unwrap_or_else(|e| panic!("loop `{}`: record is not JSON ({e})", ddg.name()));
+        assert_eq!(value.to_json(), **record, "loop `{}`", ddg.name());
+        let field = |key: &str| {
+            value
+                .get(key)
+                .and_then(json::Value::as_str)
+                .unwrap_or_else(|| panic!("loop `{}`: no `{key}`", ddg.name()))
+                .to_string()
+        };
+        let loop_digest = ddg_fingerprint(ddg);
+        let machine_digest = machine_fingerprint(&machine);
+        assert_eq!(field("loop_digest"), format!("{loop_digest:016x}"));
+        assert_eq!(field("machine_digest"), format!("{machine_digest:016x}"));
+        assert_eq!(
+            field("cache_key"),
+            format!(
+                "{:016x}",
+                hrms_repro::ddg::cache_key(loop_digest, machine_digest, scheduler.name())
+            )
+        );
+    }
+}
+
 /// The shipped example file stays parseable and structurally equal to the
 /// reference inner-product loop shape it documents.
 #[test]
