@@ -8,11 +8,13 @@
 //! the symmetric ones instead (values consumed by sinks whose producers are
 //! pushed early), so the register pressure is still higher than HRMS's.
 
-use hrms_ddg::Ddg;
+use std::sync::Arc;
+
+use hrms_ddg::{Ddg, LoopCore};
 use hrms_machine::Machine;
 use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome, SchedulerConfig};
 
-use crate::common::{bottomup_order, escalate_ii, schedule_directional_at_ii, Direction};
+use crate::common::{bottomup_order, escalate_ii_with_core, schedule_directional_at_ii, Direction};
 
 /// Bottom-Up (ALAP) modulo scheduler.
 #[derive(Debug, Clone, Default)]
@@ -34,8 +36,17 @@ impl ModuloScheduler for BottomUpScheduler {
     }
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
+        self.schedule_loop_with_core(ddg, machine, &Arc::new(LoopCore::new()))
+    }
+
+    fn schedule_loop_with_core(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+    ) -> Result<ScheduleOutcome, SchedError> {
         let order = bottomup_order(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _, la, _starts| {
+        escalate_ii_with_core(ddg, core, machine, &self.config, |ii, _, la, _starts| {
             schedule_directional_at_ii(la, machine, &order, ii, Direction::BottomUp)
         })
     }

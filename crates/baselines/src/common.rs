@@ -1,9 +1,10 @@
 //! Shared machinery of the baseline schedulers: priority orders, the
 //! II-escalation driver, and directional (top-down / bottom-up) placement.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use hrms_ddg::{Ddg, LoopAnalysis, NodeId, PerIiStarts, TopoLevels};
+use hrms_ddg::{Ddg, LoopAnalysis, LoopCore, NodeId, PerIiStarts, TopoLevels};
 use hrms_machine::Machine;
 use hrms_modsched::{
     MiiInfo, PartialSchedule, SchedError, Schedule, ScheduleOutcome, SchedulerConfig,
@@ -133,14 +134,32 @@ pub fn escalate_ii<F>(
     ddg: &Ddg,
     machine: &Machine,
     config: &SchedulerConfig,
+    attempt: F,
+) -> Result<ScheduleOutcome, SchedError>
+where
+    F: FnMut(u32, MiiInfo, &LoopAnalysis<'_>, &mut PerIiStarts) -> Option<Schedule>,
+{
+    escalate_ii_with_core(ddg, &Arc::new(LoopCore::new()), machine, config, attempt)
+}
+
+/// [`escalate_ii`] over a shared machine-independent analysis core: batch
+/// drivers scheduling the same loop against several machines pass one
+/// `Arc<LoopCore>` per loop so Tarjan, the cycle-ratio λ-search and the
+/// dense CSRs are built exactly once across every (machine, scheduler)
+/// cell.
+pub fn escalate_ii_with_core<F>(
+    ddg: &Ddg,
+    core: &Arc<LoopCore>,
+    machine: &Machine,
+    config: &SchedulerConfig,
     mut attempt: F,
 ) -> Result<ScheduleOutcome, SchedError>
 where
     F: FnMut(u32, MiiInfo, &LoopAnalysis<'_>, &mut PerIiStarts) -> Option<Schedule>,
 {
     let start = Instant::now();
-    let analysis = LoopAnalysis::analyze(ddg);
-    let mii = MiiInfo::compute_with(ddg, machine, &analysis)?;
+    let analysis = LoopAnalysis::with_core(ddg, Arc::clone(core));
+    let mii = MiiInfo::compute(machine, &analysis)?;
     // Under the verify-recurrence feature, every loop the escalation
     // driver schedules also cross-checks the cycle-ratio analysis against
     // the exact scheduling RecMII: the paper-metric per-node maximum

@@ -18,7 +18,9 @@
 //! but not always optimal IIs, and clearly higher buffer requirements than
 //! the lifetime-aware schedulers.
 
-use hrms_ddg::{Ddg, LoopAnalysis, NodeId, PerIiStarts};
+use std::sync::Arc;
+
+use hrms_ddg::{Ddg, LoopAnalysis, LoopCore, NodeId, PerIiStarts};
 use hrms_machine::Machine;
 use hrms_modsched::{
     validate_schedule, ModuloScheduler, PartialSchedule, SchedError, Schedule, ScheduleOutcome,
@@ -45,9 +47,22 @@ impl ModuloScheduler for FrlcScheduler {
     }
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
-        crate::common::escalate_ii(ddg, machine, &self.config, |ii, _, la, starts| {
-            schedule_frlc_at_ii(la, starts, machine, ii)
-        })
+        self.schedule_loop_with_core(ddg, machine, &Arc::new(LoopCore::new()))
+    }
+
+    fn schedule_loop_with_core(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+    ) -> Result<ScheduleOutcome, SchedError> {
+        crate::common::escalate_ii_with_core(
+            ddg,
+            core,
+            machine,
+            &self.config,
+            |ii, _, la, starts| schedule_frlc_at_ii(la, starts, machine, ii),
+        )
     }
 }
 

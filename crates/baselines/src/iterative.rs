@@ -7,12 +7,14 @@
 //! tighter IIs on resource- and recurrence-constrained loops thanks to its
 //! force-place/eviction mechanism.
 
-use hrms_ddg::Ddg;
+use std::sync::Arc;
+
+use hrms_ddg::{Ddg, LoopCore};
 use hrms_machine::Machine;
 use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome, SchedulerConfig};
 
 use crate::backtrack::{schedule_with_backtracking, Flavor};
-use crate::common::escalate_ii;
+use crate::common::escalate_ii_with_core;
 
 /// Iterative modulo scheduler (Rau, MICRO-27).
 #[derive(Debug, Clone, Default)]
@@ -40,8 +42,17 @@ impl ModuloScheduler for IterativeScheduler {
     }
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
+        self.schedule_loop_with_core(ddg, machine, &Arc::new(LoopCore::new()))
+    }
+
+    fn schedule_loop_with_core(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+    ) -> Result<ScheduleOutcome, SchedError> {
         let budget = self.budget(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _, la, starts| {
+        escalate_ii_with_core(ddg, core, machine, &self.config, |ii, _, la, starts| {
             schedule_with_backtracking(la, starts, machine, ii, Flavor::Iterative, budget)
         })
     }

@@ -25,8 +25,9 @@
 //! best-effort scheduler.
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
-use hrms_ddg::{Ddg, NodeId, OpKind};
+use hrms_ddg::{Ddg, LoopCore, NodeId, OpKind};
 use hrms_machine::Machine;
 use hrms_modsched::{
     LifetimeAnalysis, ModuloScheduler, PartialSchedule, SchedError, Schedule, ScheduleOutcome,
@@ -67,14 +68,33 @@ impl BranchAndBoundScheduler {
         ddg: &Ddg,
         machine: &Machine,
     ) -> Result<(ScheduleOutcome, SearchStats), SchedError> {
+        self.schedule_with_stats_core(ddg, machine, &Arc::new(LoopCore::new()))
+    }
+
+    /// [`BranchAndBoundScheduler::schedule_with_stats`] over a shared
+    /// machine-independent analysis core (see [`LoopCore`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModuloScheduler::schedule_loop`].
+    pub fn schedule_with_stats_core(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+    ) -> Result<(ScheduleOutcome, SearchStats), SchedError> {
         let mut stats = SearchStats {
             explored: 0,
             exhaustive: true,
         };
         let order = bfs_order(ddg);
         let greedy_order = crate::common::topdown_order(ddg);
-        let outcome =
-            crate::common::escalate_ii(ddg, machine, &self.config, |ii, _, la, _starts| {
+        let outcome = crate::common::escalate_ii_with_core(
+            ddg,
+            core,
+            machine,
+            &self.config,
+            |ii, _, la, _starts| {
                 // Seed the incumbent with a greedy top-down schedule at this II.
                 // This bounds the search from the start (better pruning) and
                 // guarantees graceful degradation: even if the budget runs out
@@ -115,7 +135,8 @@ impl BranchAndBoundScheduler {
                     stats.exhaustive = false;
                 }
                 search.best
-            })?;
+            },
+        )?;
         Ok((outcome, stats))
     }
 }
@@ -127,6 +148,16 @@ impl ModuloScheduler for BranchAndBoundScheduler {
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
         self.schedule_with_stats(ddg, machine).map(|(o, _)| o)
+    }
+
+    fn schedule_loop_with_core(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+    ) -> Result<ScheduleOutcome, SchedError> {
+        self.schedule_with_stats_core(ddg, machine, core)
+            .map(|(o, _)| o)
     }
 }
 

@@ -13,12 +13,14 @@
 //! description (see DESIGN.md, substitutions table); it shares the
 //! force-place/eviction core with the iterative scheduler.
 
-use hrms_ddg::Ddg;
+use std::sync::Arc;
+
+use hrms_ddg::{Ddg, LoopCore};
 use hrms_machine::Machine;
 use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome, SchedulerConfig};
 
 use crate::backtrack::{schedule_with_backtracking, Flavor};
-use crate::common::escalate_ii;
+use crate::common::escalate_ii_with_core;
 
 /// Huff-style slack scheduler.
 #[derive(Debug, Clone, Default)]
@@ -49,8 +51,17 @@ impl ModuloScheduler for SlackScheduler {
     }
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
+        self.schedule_loop_with_core(ddg, machine, &Arc::new(LoopCore::new()))
+    }
+
+    fn schedule_loop_with_core(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+    ) -> Result<ScheduleOutcome, SchedError> {
         let budget = self.budget(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _, la, starts| {
+        escalate_ii_with_core(ddg, core, machine, &self.config, |ii, _, la, starts| {
             schedule_with_backtracking(la, starts, machine, ii, Flavor::Slack, budget)
         })
     }

@@ -9,11 +9,13 @@
 //! allow, operand lifetimes are stretched and the register pressure is high
 //! — exactly the behaviour HRMS was designed to avoid.
 
-use hrms_ddg::Ddg;
+use std::sync::Arc;
+
+use hrms_ddg::{Ddg, LoopCore};
 use hrms_machine::Machine;
 use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome, SchedulerConfig};
 
-use crate::common::{escalate_ii, schedule_directional_at_ii, topdown_order, Direction};
+use crate::common::{escalate_ii_with_core, schedule_directional_at_ii, topdown_order, Direction};
 
 /// Top-Down (ASAP) modulo scheduler.
 #[derive(Debug, Clone, Default)]
@@ -35,8 +37,17 @@ impl ModuloScheduler for TopDownScheduler {
     }
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
+        self.schedule_loop_with_core(ddg, machine, &Arc::new(LoopCore::new()))
+    }
+
+    fn schedule_loop_with_core(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+    ) -> Result<ScheduleOutcome, SchedError> {
         let order = topdown_order(ddg);
-        escalate_ii(ddg, machine, &self.config, |ii, _, la, _starts| {
+        escalate_ii_with_core(ddg, core, machine, &self.config, |ii, _, la, _starts| {
             schedule_directional_at_ii(la, machine, &order, ii, Direction::TopDown)
         })
     }

@@ -37,7 +37,10 @@ fn bench_scc_and_circuits(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("mii", ddg.num_nodes()), &ddg, |b, ddg| {
             let machine = presets::perfect_club();
-            b.iter(|| MiiInfo::compute(std::hint::black_box(ddg), &machine).unwrap())
+            b.iter(|| {
+                let la = hrms_ddg::LoopAnalysis::analyze(std::hint::black_box(ddg));
+                MiiInfo::compute(&machine, &la).unwrap()
+            })
         });
         group.bench_with_input(
             BenchmarkId::new("search_all_paths", ddg.num_nodes()),

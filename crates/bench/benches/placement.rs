@@ -23,7 +23,7 @@ use hrms_workloads::synthetic;
 /// this order (found once, outside the measured region).
 fn first_feasible_ii(ddg: &Ddg, la: &LoopAnalysis<'_>, order: &[NodeId]) -> u32 {
     let machine = presets::perfect_club();
-    let mii = MiiInfo::compute_with(ddg, &machine, la)
+    let mii = MiiInfo::compute(&machine, la)
         .unwrap_or_else(|e| panic!("stress loop `{}` invalid: {e}", ddg.name()))
         .mii();
     (mii..mii + 4096)

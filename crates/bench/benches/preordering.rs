@@ -4,13 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hrms_core::pre_order;
+use hrms_ddg::LoopAnalysis;
 use hrms_workloads::{motivating, GeneratorConfig, LoopGenerator};
 
 fn bench_preorder_paper_examples(c: &mut Criterion) {
     let mut group = c.benchmark_group("preorder_paper_examples");
     for ddg in motivating::all() {
         group.bench_with_input(BenchmarkId::from_parameter(ddg.name()), &ddg, |b, ddg| {
-            b.iter(|| pre_order(std::hint::black_box(ddg)))
+            b.iter(|| pre_order(&LoopAnalysis::analyze(std::hint::black_box(ddg))))
         });
     }
     group.finish();
@@ -27,7 +28,7 @@ fn bench_preorder_scaling(c: &mut Criterion) {
         };
         let ddg = LoopGenerator::new(7, config).next_loop();
         group.bench_with_input(BenchmarkId::from_parameter(size), &ddg, |b, ddg| {
-            b.iter(|| pre_order(std::hint::black_box(ddg)))
+            b.iter(|| pre_order(&LoopAnalysis::analyze(std::hint::black_box(ddg))))
         });
     }
     group.finish();

@@ -72,7 +72,7 @@ fn bench_recurrence_heavy_preorder(c: &mut Criterion) {
     for ddg in synthetic::recurrence_heavy_suite() {
         let ops = ddg.num_nodes();
         group.bench_with_input(BenchmarkId::new("pre_order", ops), &ddg, |b, ddg| {
-            b.iter(|| pre_order(std::hint::black_box(ddg)))
+            b.iter(|| pre_order(&hrms_ddg::LoopAnalysis::analyze(std::hint::black_box(ddg))))
         });
     }
     group.finish();

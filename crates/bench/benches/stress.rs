@@ -20,7 +20,7 @@ fn bench_preorder_dense_vs_legacy(c: &mut Criterion) {
     for ddg in synthetic::stress_suite() {
         let ops = ddg.num_nodes();
         group.bench_with_input(BenchmarkId::new("dense", ops), &ddg, |b, ddg| {
-            b.iter(|| pre_order(std::hint::black_box(ddg)))
+            b.iter(|| pre_order(&hrms_ddg::LoopAnalysis::analyze(std::hint::black_box(ddg))))
         });
         group.bench_with_input(BenchmarkId::new("legacy", ops), &ddg, |b, ddg| {
             b.iter(|| pre_order_legacy(std::hint::black_box(ddg)))

@@ -30,7 +30,26 @@
 //!
 //! The `tarjan_runs_exactly_once` test at the bottom of this file pins the
 //! "Tarjan at most once, however many phases ask" property with an
-//! instrumented counter.
+//! instrumented counter ([`crate::instrument`]).
+//!
+//! # The core/overlay split
+//!
+//! [`LoopAnalysis`] is a thin composition of two layers:
+//!
+//! * [`LoopCore`] — the machine-independent facts (everything above: SCCs,
+//!   backward edges, CSRs, recurrence groups, cycle ratios, dependence
+//!   edges resolved from the graph's authoritative node latencies, the
+//!   structural fingerprint). Lifetime-free and `Sync`, so one
+//!   `Arc<LoopCore>` per loop can be shared by every per-machine
+//!   scheduling cell of a multi-backend batch — Tarjan and the
+//!   cycle-ratio λ-search then run exactly once per loop however many
+//!   machines are targeted.
+//! * [`MachineView`] — the cheap per-machine overlay. The default view
+//!   delegates every latency-resolved fact to the core (the `.loop`
+//!   corpus convention: node latencies are already the target's); an
+//!   explicit view rebuilds only the `O(|E|)` latency-dependent facts
+//!   ([`DepEdge`] list, [`PlacementCsr`], RecMII) against a per-node
+//!   latency table.
 
 use std::collections::HashSet;
 use std::sync::{Arc, OnceLock};
@@ -133,8 +152,15 @@ pub struct PlacementCsr {
 }
 
 impl PlacementCsr {
-    /// Builds the placement arcs of `ddg` in `O(|V| + |E|)`.
+    /// Builds the placement arcs of `ddg` in `O(|V| + |E|)`, resolving
+    /// latencies from the graph's node latencies ([`dependence_latency`]).
     pub fn from_graph(ddg: &Ddg) -> Self {
+        Self::from_graph_with(ddg, |e| dependence_latency(ddg, e))
+    }
+
+    /// Builds the placement arcs of `ddg` with an explicit per-edge latency
+    /// resolver — the [`MachineView`] overlay hook. `O(|V| + |E|)`.
+    pub fn from_graph_with(ddg: &Ddg, resolve: impl Fn(&Edge) -> u32) -> Self {
         let n = ddg.num_nodes();
         let mut ins: Vec<Vec<DepArc>> = vec![Vec::new(); n];
         let mut outs: Vec<Vec<DepArc>> = vec![Vec::new(); n];
@@ -142,7 +168,7 @@ impl PlacementCsr {
             if e.is_self_loop() {
                 continue; // self-dependences only bound II, not placement
             }
-            let latency = dependence_latency(ddg, e);
+            let latency = resolve(e);
             ins[e.target().index()].push(DepArc {
                 other: e.source().0,
                 latency,
@@ -537,22 +563,27 @@ impl PerIiStarts {
     }
 }
 
-/// Every graph analysis of one loop body, computed at most once.
+/// The machine-independent analyses of one loop body, computed at most
+/// once and shareable across machines and threads.
 ///
-/// Construction ([`LoopAnalysis::analyze`]) is free: every fact is
-/// materialised lazily on first access and cached, so each consumer pays
-/// only for what it touches — a pre-ordering-only caller never builds the
-/// placement CSR, a baseline scheduler never runs Tarjan. What is shared is
-/// the *cache*: however many phases ask, Tarjan runs at most once per loop
-/// (the `tarjan_runs_exactly_once` test pins this), the dependence edges
-/// are flattened once, and so on.
+/// Everything in here is a pure function of the [`Ddg`] — Tarjan SCCs,
+/// backward edges, adjacency CSRs, recurrence groups, cycle ratios, the
+/// flattened dependence edges (latencies resolved from the graph's node
+/// latencies, which are authoritative; see [`dependence_latency`]), the
+/// structural fingerprint. None of it depends on the target machine, which
+/// contributes only *resources* (ResMII, MRT occupancy) to scheduling. The
+/// struct is lifetime-free and every getter takes the graph it caches for,
+/// so an `Arc<LoopCore>` can be built once per loop and handed to N
+/// per-machine scheduling cells: each fact is computed by whichever cell
+/// asks first ([`OnceLock`] guarantees exactly-once under concurrency) and
+/// reused by all others. The `tarjan_runs_exactly_once` test and the
+/// workspace `core_overlay` suite pin the once-per-loop property.
 ///
-/// The struct borrows the [`Ddg`] it analyses, so a scheduler typically
-/// creates one per loop on the stack and threads `&LoopAnalysis` through
-/// its phases.
-#[derive(Debug)]
-pub struct LoopAnalysis<'a> {
-    ddg: &'a Ddg,
+/// Callers must pass the **same** graph to every getter; constructing the
+/// core through [`LoopAnalysis::analyze`] or
+/// [`LoopAnalysis::with_core`] enforces that by construction.
+#[derive(Debug, Default)]
+pub struct LoopCore {
     sccs: OnceLock<Vec<Vec<NodeId>>>,
     backward: OnceLock<HashSet<EdgeId>>,
     dep_edges: OnceLock<Vec<DepEdge>>,
@@ -563,72 +594,55 @@ pub struct LoopAnalysis<'a> {
     ratios: OnceLock<CycleRatios>,
     rec_groups: OnceLock<RecurrenceGroups>,
     rec_mii: OnceLock<Option<u32>>,
+    fingerprint: OnceLock<u64>,
 }
 
-impl<'a> LoopAnalysis<'a> {
-    /// Wraps `ddg` in an (initially empty) analysis cache. `O(1)`; every
-    /// analysis is computed on first use.
-    pub fn analyze(ddg: &'a Ddg) -> Self {
-        LoopAnalysis {
-            ddg,
-            sccs: OnceLock::new(),
-            backward: OnceLock::new(),
-            dep_edges: OnceLock::new(),
-            placement: OnceLock::new(),
-            csr_full: OnceLock::new(),
-            csr_work: OnceLock::new(),
-            rec_info: OnceLock::new(),
-            ratios: OnceLock::new(),
-            rec_groups: OnceLock::new(),
-            rec_mii: OnceLock::new(),
-        }
+impl LoopCore {
+    /// An empty core cache. `O(1)`; every analysis is computed on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// The analysed graph.
-    #[inline]
-    pub fn ddg(&self) -> &'a Ddg {
-        self.ddg
-    }
-
-    /// The strongly connected components — the analysis's single Tarjan
-    /// run, `O(|V| + |E|)` on first access.
-    pub fn sccs(&self) -> &[Vec<NodeId>] {
+    /// The strongly connected components — the core's single Tarjan run,
+    /// `O(|V| + |E|)` on first access.
+    pub fn sccs(&self, ddg: &Ddg) -> &[Vec<NodeId>] {
         self.sccs
-            .get_or_init(|| scc::strongly_connected_components(self.ddg))
+            .get_or_init(|| scc::strongly_connected_components(ddg))
     }
 
     /// The backward edges of every recurrence circuit (loop-carried edges
     /// internal to an SCC); `O(|E|)` from the cached SCCs on first access.
-    pub fn backward_edges(&self) -> &HashSet<EdgeId> {
+    pub fn backward_edges(&self, ddg: &Ddg) -> &HashSet<EdgeId> {
         self.backward
-            .get_or_init(|| backward_edges_of(self.ddg, self.sccs()))
+            .get_or_init(|| backward_edges_of(ddg, self.sccs(ddg)))
     }
 
     /// The flat dependence-constraint edges with resolved latencies, in
     /// edge-id order (self-loops included); `O(|E|)` on first access.
-    pub fn dep_edges(&self) -> &[DepEdge] {
-        self.dep_edges.get_or_init(|| collect_dep_edges(self.ddg))
+    pub fn dep_edges(&self, ddg: &Ddg) -> &[DepEdge] {
+        self.dep_edges.get_or_init(|| collect_dep_edges(ddg))
     }
 
     /// The placement CSR (per-node arcs with precomputed latencies), shared
     /// via `Arc` so partial schedules can hold it without re-borrowing the
-    /// analysis. `O(|V| + |E|)` on first access.
-    pub fn placement(&self) -> &Arc<PlacementCsr> {
+    /// core. `O(|V| + |E|)` on first access.
+    pub fn placement(&self, ddg: &Ddg) -> &Arc<PlacementCsr> {
         self.placement
-            .get_or_init(|| Arc::new(PlacementCsr::from_graph(self.ddg)))
+            .get_or_init(|| Arc::new(PlacementCsr::from_graph(ddg)))
     }
 
     /// The full (deduplicated, self-loop-free) adjacency CSR;
     /// `O(|V| + |E|)` on first access.
-    pub fn csr_full(&self) -> &Csr {
-        self.csr_full.get_or_init(|| Csr::from_graph(self.ddg))
+    pub fn csr_full(&self, ddg: &Ddg) -> &Csr {
+        self.csr_full.get_or_init(|| Csr::from_graph(ddg))
     }
 
     /// The adjacency CSR with backward edges removed — the acyclic work
     /// graph of the pre-ordering phase. `O(|V| + |E|)` on first access.
-    pub fn csr_work(&self) -> &Csr {
+    pub fn csr_work(&self, ddg: &Ddg) -> &Csr {
         self.csr_work
-            .get_or_init(|| Csr::filtered(self.ddg, self.backward_edges()))
+            .get_or_init(|| Csr::filtered(ddg, self.backward_edges(ddg)))
     }
 
     /// The recurrence-circuit analysis (Johnson's enumeration grouped into
@@ -637,11 +651,11 @@ impl<'a> LoopAnalysis<'a> {
     /// circuit budget (the result is then marked truncated).
     ///
     /// Kept as the differential oracle and legacy fallback; the scheduling
-    /// phases read the enumeration-free
-    /// [`LoopAnalysis::recurrence_groups`] instead.
-    pub fn recurrences(&self) -> &RecurrenceInfo {
+    /// phases read the enumeration-free [`LoopCore::recurrence_groups`]
+    /// instead.
+    pub fn recurrences(&self, ddg: &Ddg) -> &RecurrenceInfo {
         self.rec_info.get_or_init(|| {
-            RecurrenceInfo::analyze_with_sccs(self.ddg, self.sccs(), DEFAULT_CIRCUIT_BUDGET)
+            RecurrenceInfo::analyze_with_sccs(ddg, self.sccs(ddg), DEFAULT_CIRCUIT_BUDGET)
         })
     }
 
@@ -649,11 +663,11 @@ impl<'a> LoopAnalysis<'a> {
     /// ([`crate::cycle_ratio::CycleRatios`]): for every node, the exact
     /// `RecMII` of the most critical recurrence circuit through it,
     /// derived from the cached SCCs in polynomial time. Feeds
-    /// [`LoopAnalysis::recurrence_groups`] and the pre-ordering's
-    /// per-node criticality.
-    pub fn cycle_ratios(&self) -> &CycleRatios {
+    /// [`LoopCore::recurrence_groups`] and the pre-ordering's per-node
+    /// criticality.
+    pub fn cycle_ratios(&self, ddg: &Ddg) -> &CycleRatios {
         self.ratios
-            .get_or_init(|| CycleRatios::analyze_with_sccs(self.ddg, self.sccs()))
+            .get_or_init(|| CycleRatios::analyze_with_sccs(ddg, self.sccs(ddg)))
     }
 
     /// The enumeration-free recurrence analysis
@@ -667,18 +681,18 @@ impl<'a> LoopAnalysis<'a> {
     /// enumeration completes; a hard divergence panics and any multi-edge
     /// coarsening is counted and logged
     /// ([`crate::recurrence::coarsening`]).
-    pub fn recurrence_groups(&self) -> &RecurrenceGroups {
+    pub fn recurrence_groups(&self, ddg: &Ddg) -> &RecurrenceGroups {
         self.rec_groups.get_or_init(|| {
-            let groups = RecurrenceGroups::from_cycle_ratios(self.ddg, self.cycle_ratios());
+            let groups = RecurrenceGroups::from_cycle_ratios(ddg, self.cycle_ratios(ddg));
             #[cfg(feature = "verify-recurrence")]
             {
-                let oracle = self.recurrences();
+                let oracle = self.recurrences(ddg);
                 if !oracle.truncated {
                     match crate::recurrence::cross_check(&groups, oracle) {
                         Err(e) => panic!(
                             "SCC-derived recurrence groups diverged from the \
                              circuit enumeration on `{}`: {e}",
-                            self.ddg.name()
+                            ddg.name()
                         ),
                         Ok(report) => {
                             crate::recurrence::coarsening::record(report.is_exact());
@@ -691,11 +705,11 @@ impl<'a> LoopAnalysis<'a> {
                                     "SCC-derived recurrence groups diverged from the \
                                      circuit enumeration on `{}` without any \
                                      deep (≥3-edge) subgraph to excuse it: {report:?}",
-                                    self.ddg.name()
+                                    ddg.name()
                                 );
                                 eprintln!(
                                     "verify-recurrence: `{}` coarsened: {report:?}",
-                                    self.ddg.name()
+                                    ddg.name()
                                 );
                             }
                         }
@@ -709,10 +723,246 @@ impl<'a> LoopAnalysis<'a> {
     /// The exact recurrence-constrained MII ([`exact_rec_mii`]); `None`
     /// means the loop has a zero-distance dependence cycle and no II is
     /// feasible. Cached after the first binary search.
-    pub fn rec_mii(&self) -> Option<u32> {
+    pub fn rec_mii(&self, ddg: &Ddg) -> Option<u32> {
         *self
             .rec_mii
-            .get_or_init(|| exact_rec_mii(self.ddg.num_nodes(), self.dep_edges()))
+            .get_or_init(|| exact_rec_mii(ddg.num_nodes(), self.dep_edges(ddg)))
+    }
+
+    /// The structural fingerprint of the loop
+    /// ([`crate::fingerprint::ddg_fingerprint`]), computed once per core
+    /// however many machine keys it is combined with
+    /// ([`crate::fingerprint::cache_key`] varies only the machine digest
+    /// across the cells of a multi-machine batch).
+    pub fn fingerprint(&self, ddg: &Ddg) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| crate::fingerprint::ddg_fingerprint(ddg))
+    }
+}
+
+/// The per-machine overlay of a loop analysis: the latency-resolved facts
+/// ([`DepEdge`] list, [`PlacementCsr`], RecMII) a target machine could
+/// specialise, layered over a shared [`LoopCore`].
+///
+/// In the default mode ([`MachineView::graph_latencies`]) the graph's node
+/// latencies are authoritative — the convention of every `.loop` corpus,
+/// where the importer has already baked the target latencies into the
+/// nodes — and the view delegates every fact to the shared core, so it is
+/// a zero-cost handle and N machine views of one loop share one set of
+/// latency-resolved caches byte-for-byte.
+///
+/// [`MachineView::with_node_latencies`] instead re-resolves the
+/// dependence latencies against an explicit per-node latency table (e.g.
+/// `hrms_machine::apply_latencies`' table for a target machine) without
+/// touching the graph: only the `O(|E|)` latency-dependent facts are
+/// rebuilt, while every structural fact (SCCs, recurrence groups, cycle
+/// ratios, fingerprint) still comes from the shared core.
+#[derive(Debug, Default)]
+pub struct MachineView {
+    overlay: Option<LatencyOverlay>,
+}
+
+/// The rebuilt latency-resolved facts of a non-default [`MachineView`].
+#[derive(Debug)]
+struct LatencyOverlay {
+    dep_edges: Vec<DepEdge>,
+    placement: Arc<PlacementCsr>,
+    rec_mii: OnceLock<Option<u32>>,
+}
+
+impl MachineView {
+    /// The default view: the graph's node latencies are authoritative and
+    /// every fact delegates to the shared [`LoopCore`]. `O(1)`.
+    pub fn graph_latencies() -> Self {
+        Self::default()
+    }
+
+    /// A view resolving dependence latencies against `latencies[node]`
+    /// instead of the graph's node latencies (anti and output dependences
+    /// keep their issue-order latency of 1, as in [`dependence_latency`]).
+    /// `O(|V| + |E|)` — the per-machine cost the core/overlay split bounds
+    /// the re-analysis to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latencies.len() != ddg.num_nodes()`.
+    pub fn with_node_latencies(ddg: &Ddg, latencies: &[u32]) -> Self {
+        assert_eq!(
+            latencies.len(),
+            ddg.num_nodes(),
+            "one latency per node required"
+        );
+        let resolve = |e: &Edge| match e.kind() {
+            DepKind::RegAnti | DepKind::RegOutput => 1,
+            _ => latencies[e.source().index()],
+        };
+        let dep_edges = ddg
+            .edges()
+            .map(|(_, e)| DepEdge {
+                source: e.source().0,
+                target: e.target().0,
+                latency: resolve(e),
+                distance: e.distance(),
+            })
+            .collect();
+        MachineView {
+            overlay: Some(LatencyOverlay {
+                dep_edges,
+                placement: Arc::new(PlacementCsr::from_graph_with(ddg, resolve)),
+                rec_mii: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Whether this is the default delegating view (no rebuilt overlay).
+    pub fn is_graph_latencies(&self) -> bool {
+        self.overlay.is_none()
+    }
+}
+
+/// Every graph analysis of one loop body, computed at most once: a thin
+/// composition of a shareable machine-independent [`LoopCore`] and a
+/// per-machine [`MachineView`] overlay.
+///
+/// Construction ([`LoopAnalysis::analyze`]) is free: every fact is
+/// materialised lazily on first access and cached, so each consumer pays
+/// only for what it touches — a pre-ordering-only caller never builds the
+/// placement CSR, a baseline scheduler never runs Tarjan. What is shared is
+/// the *cache*: however many phases (or, through a shared `Arc<LoopCore>`,
+/// however many machines) ask, Tarjan runs at most once per loop (the
+/// `tarjan_runs_exactly_once` test pins this), the dependence edges are
+/// flattened once, and so on.
+///
+/// The struct borrows the [`Ddg`] it analyses, so a scheduler typically
+/// creates one per loop on the stack — [`LoopAnalysis::with_core`] when a
+/// batch driver hands it a shared core, [`LoopAnalysis::analyze`] for a
+/// private one — and threads `&LoopAnalysis` through its phases.
+#[derive(Debug)]
+pub struct LoopAnalysis<'a> {
+    ddg: &'a Ddg,
+    core: Arc<LoopCore>,
+    view: MachineView,
+}
+
+impl<'a> LoopAnalysis<'a> {
+    /// Wraps `ddg` in an (initially empty) private analysis cache. `O(1)`;
+    /// every analysis is computed on first use.
+    pub fn analyze(ddg: &'a Ddg) -> Self {
+        Self::with_core(ddg, Arc::new(LoopCore::new()))
+    }
+
+    /// Composes `ddg` with a shared machine-independent core and the
+    /// default (graph-latency) machine view. `O(1)`. The core must have
+    /// been created for this same graph (or be empty).
+    pub fn with_core(ddg: &'a Ddg, core: Arc<LoopCore>) -> Self {
+        Self::with_view(ddg, core, MachineView::graph_latencies())
+    }
+
+    /// Composes `ddg`, a shared core and an explicit machine view. `O(1)`.
+    pub fn with_view(ddg: &'a Ddg, core: Arc<LoopCore>, view: MachineView) -> Self {
+        LoopAnalysis { ddg, core, view }
+    }
+
+    /// The analysed graph.
+    #[inline]
+    pub fn ddg(&self) -> &'a Ddg {
+        self.ddg
+    }
+
+    /// The shared machine-independent core (clone the `Arc` to hand the
+    /// same core to another per-machine analysis of this loop).
+    #[inline]
+    pub fn core(&self) -> &Arc<LoopCore> {
+        &self.core
+    }
+
+    /// The per-machine overlay this analysis resolves latencies through.
+    #[inline]
+    pub fn view(&self) -> &MachineView {
+        &self.view
+    }
+
+    /// The loop's structural fingerprint, cached in the shared core (see
+    /// [`LoopCore::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.core.fingerprint(self.ddg)
+    }
+
+    /// The strongly connected components — the analysis's single Tarjan
+    /// run, `O(|V| + |E|)` on first access.
+    pub fn sccs(&self) -> &[Vec<NodeId>] {
+        self.core.sccs(self.ddg)
+    }
+
+    /// The backward edges of every recurrence circuit (loop-carried edges
+    /// internal to an SCC); `O(|E|)` from the cached SCCs on first access.
+    pub fn backward_edges(&self) -> &HashSet<EdgeId> {
+        self.core.backward_edges(self.ddg)
+    }
+
+    /// The flat dependence-constraint edges with resolved latencies, in
+    /// edge-id order (self-loops included); `O(|E|)` on first access.
+    /// Resolved through the machine view's overlay when one is present.
+    pub fn dep_edges(&self) -> &[DepEdge] {
+        match &self.view.overlay {
+            Some(o) => &o.dep_edges,
+            None => self.core.dep_edges(self.ddg),
+        }
+    }
+
+    /// The placement CSR (per-node arcs with precomputed latencies), shared
+    /// via `Arc` so partial schedules can hold it without re-borrowing the
+    /// analysis. `O(|V| + |E|)` on first access. Resolved through the
+    /// machine view's overlay when one is present.
+    pub fn placement(&self) -> &Arc<PlacementCsr> {
+        match &self.view.overlay {
+            Some(o) => &o.placement,
+            None => self.core.placement(self.ddg),
+        }
+    }
+
+    /// The full (deduplicated, self-loop-free) adjacency CSR;
+    /// `O(|V| + |E|)` on first access.
+    pub fn csr_full(&self) -> &Csr {
+        self.core.csr_full(self.ddg)
+    }
+
+    /// The adjacency CSR with backward edges removed — the acyclic work
+    /// graph of the pre-ordering phase. `O(|V| + |E|)` on first access.
+    pub fn csr_work(&self) -> &Csr {
+        self.core.csr_work(self.ddg)
+    }
+
+    /// The recurrence-circuit analysis oracle (see
+    /// [`LoopCore::recurrences`]).
+    pub fn recurrences(&self) -> &RecurrenceInfo {
+        self.core.recurrences(self.ddg)
+    }
+
+    /// The per-node maximum cycle-ratio analysis (see
+    /// [`LoopCore::cycle_ratios`]).
+    pub fn cycle_ratios(&self) -> &CycleRatios {
+        self.core.cycle_ratios(self.ddg)
+    }
+
+    /// The enumeration-free recurrence analysis (see
+    /// [`LoopCore::recurrence_groups`]).
+    pub fn recurrence_groups(&self) -> &RecurrenceGroups {
+        self.core.recurrence_groups(self.ddg)
+    }
+
+    /// The exact recurrence-constrained MII ([`exact_rec_mii`]); `None`
+    /// means the loop has a zero-distance dependence cycle and no II is
+    /// feasible. Cached after the first binary search; resolved over the
+    /// machine view's edge list when an overlay is present.
+    pub fn rec_mii(&self) -> Option<u32> {
+        match &self.view.overlay {
+            Some(o) => *o
+                .rec_mii
+                .get_or_init(|| exact_rec_mii(self.ddg.num_nodes(), &o.dep_edges)),
+            None => self.core.rec_mii(self.ddg),
+        }
     }
 
     /// Resource-free earliest start times at `ii` over the cached edge list
@@ -896,10 +1146,10 @@ mod tests {
     #[test]
     fn tarjan_runs_exactly_once() {
         let g = accumulator_loop();
-        scc::test_counter::reset();
+        crate::instrument::reset();
         let la = LoopAnalysis::analyze(&g);
         assert_eq!(
-            scc::test_counter::runs(),
+            crate::instrument::tarjan_runs(),
             0,
             "construction alone must not run Tarjan (everything is lazy)"
         );
@@ -914,18 +1164,96 @@ mod tests {
         let _ = la.rec_mii();
         let _ = la.recurrence_groups(); // second access hits the cache
         assert_eq!(
-            scc::test_counter::runs(),
+            crate::instrument::tarjan_runs(),
             1,
             "LoopAnalysis must run Tarjan exactly once per loop"
+        );
+        assert_eq!(
+            crate::instrument::cycle_ratio_runs(),
+            1,
+            "the λ-search pass must run exactly once per loop"
         );
         // Consumers that don't need Tarjan never trigger it...
         let other = LoopAnalysis::analyze(&g);
         let _ = other.placement();
         let _ = other.dep_edges();
         let _ = other.rec_mii();
-        assert_eq!(scc::test_counter::runs(), 1);
+        assert_eq!(crate::instrument::tarjan_runs(), 1);
         // ...and a fresh analysis that does re-runs it exactly once.
         let _ = other.sccs();
-        assert_eq!(scc::test_counter::runs(), 2);
+        assert_eq!(crate::instrument::tarjan_runs(), 2);
+    }
+
+    #[test]
+    fn shared_core_runs_tarjan_once_across_analyses() {
+        let g = accumulator_loop();
+        crate::instrument::reset();
+        let core = Arc::new(LoopCore::new());
+        // Four per-machine analyses over one shared core — the
+        // multi-backend batch shape.
+        for _ in 0..4 {
+            let la = LoopAnalysis::with_core(&g, Arc::clone(&core));
+            let _ = la.recurrence_groups();
+            let _ = la.csr_work();
+            let _ = la.rec_mii();
+            let _ = la.placement();
+            let _ = la.fingerprint();
+        }
+        assert_eq!(crate::instrument::tarjan_runs(), 1);
+        assert_eq!(crate::instrument::cycle_ratio_runs(), 1);
+    }
+
+    #[test]
+    fn core_fingerprint_matches_free_function() {
+        let g = accumulator_loop();
+        let la = LoopAnalysis::analyze(&g);
+        assert_eq!(la.fingerprint(), crate::fingerprint::ddg_fingerprint(&g));
+        assert_eq!(la.core().fingerprint(&g), la.fingerprint());
+    }
+
+    #[test]
+    fn default_view_shares_the_core_caches() {
+        let g = accumulator_loop();
+        let core = Arc::new(LoopCore::new());
+        let a = LoopAnalysis::with_core(&g, Arc::clone(&core));
+        let b = LoopAnalysis::with_core(&g, Arc::clone(&core));
+        assert!(a.view().is_graph_latencies());
+        // The placement Arc is literally the same allocation.
+        assert!(Arc::ptr_eq(a.placement(), b.placement()));
+        assert_eq!(a.dep_edges(), b.dep_edges());
+        assert_eq!(a.rec_mii(), b.rec_mii());
+    }
+
+    #[test]
+    fn overlay_view_with_graph_latencies_is_byte_identical() {
+        let g = accumulator_loop();
+        let core = Arc::new(LoopCore::new());
+        let latencies: Vec<u32> = g.nodes().map(|(_, n)| n.latency()).collect();
+        let view = MachineView::with_node_latencies(&g, &latencies);
+        assert!(!view.is_graph_latencies());
+        let overlaid = LoopAnalysis::with_view(&g, Arc::clone(&core), view);
+        let plain = LoopAnalysis::with_core(&g, core);
+        assert_eq!(overlaid.dep_edges(), plain.dep_edges());
+        assert_eq!(**overlaid.placement(), **plain.placement());
+        assert_eq!(overlaid.rec_mii(), plain.rec_mii());
+    }
+
+    #[test]
+    fn overlay_view_resolves_explicit_latencies() {
+        let g = accumulator_loop();
+        // Double every latency: flow edges double, the anti edge keeps its
+        // issue-order latency of 1.
+        let latencies: Vec<u32> = g.nodes().map(|(_, n)| n.latency() * 2).collect();
+        let view = MachineView::with_node_latencies(&g, &latencies);
+        let core = Arc::new(LoopCore::new());
+        let la = LoopAnalysis::with_view(&g, core, view);
+        // ld -> mul waits for the doubled load (4); acc -> ld stays anti (1).
+        assert_eq!(la.dep_edges()[0].latency, 4);
+        assert_eq!(la.dep_edges()[3].latency, 1);
+        // Binding circuit: acc->ld (1) + ld->mul (4) + mul->acc (4) over
+        // distance 1 -> RecMII 9 under the doubled latencies.
+        assert_eq!(la.rec_mii(), Some(9));
+        // Structural facts still come from the shared core.
+        assert_eq!(la.backward_edges().len(), 2);
     }
 }

@@ -125,6 +125,7 @@ impl CycleRatios {
 
     /// Analyses `ddg` over precomputed strongly connected components.
     pub fn analyze_with_sccs(ddg: &Ddg, sccs: &[Vec<NodeId>]) -> Self {
+        crate::instrument::record_cycle_ratio_run();
         let n = ddg.num_nodes();
         let mut per_node = vec![0u64; n];
         let mut groups = Vec::new();

@@ -66,6 +66,7 @@ pub mod edge;
 pub mod error;
 pub mod fingerprint;
 pub mod graph;
+pub mod instrument;
 pub mod node;
 pub mod paths;
 pub mod recurrence;
@@ -74,7 +75,8 @@ pub mod textfmt;
 pub mod topo;
 
 pub use analysis::{
-    dependence_latency, DepArc, DepEdge, IncrementalStarts, LoopAnalysis, PerIiStarts, PlacementCsr,
+    dependence_latency, DepArc, DepEdge, IncrementalStarts, LoopAnalysis, LoopCore, MachineView,
+    PerIiStarts, PlacementCsr,
 };
 pub use builder::DdgBuilder;
 pub use circuits::{Circuit, RecurrenceInfo, RecurrenceSubgraph};

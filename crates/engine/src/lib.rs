@@ -32,8 +32,9 @@ mod contain;
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use hrms_ddg::Ddg;
+use hrms_ddg::{Ddg, LoopCore};
 use hrms_machine::Machine;
 use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome};
 
@@ -50,6 +51,31 @@ fn contained_cell(
     machine: &Machine,
 ) -> Result<ScheduleOutcome, SchedError> {
     run_contained(|| scheduler.schedule_loop(ddg, machine)).unwrap_or_else(|what| {
+        Err(SchedError::Internal {
+            what: format!(
+                "scheduler `{}` panicked on loop `{}`: {what}",
+                scheduler.name(),
+                ddg.name()
+            ),
+        })
+    })
+}
+
+/// Schedules one loop × machine cell with panic containment and a shared
+/// machine-independent analysis core: the
+/// scheduler reuses the loop's [`LoopCore`] (Tarjan, cycle ratios, CSRs)
+/// instead of rebuilding it, so a loop scheduled against N machines pays
+/// for its structural analysis once. Public so custom batch drivers (the
+/// service's cache-miss path) can schedule an arbitrary subset of
+/// loop × machine cells through [`BatchEngine::map`] with the same
+/// containment and core-sharing as [`BatchEngine::schedule_matrix`].
+pub fn schedule_cell_with_core(
+    scheduler: &(dyn ModuloScheduler + Sync),
+    ddg: &Ddg,
+    machine: &Machine,
+    core: &Arc<LoopCore>,
+) -> Result<ScheduleOutcome, SchedError> {
+    run_contained(|| scheduler.schedule_loop_with_core(ddg, machine, core)).unwrap_or_else(|what| {
         Err(SchedError::Internal {
             what: format!(
                 "scheduler `{}` panicked on loop `{}`: {what}",
@@ -210,6 +236,52 @@ impl BatchEngine {
             .collect()
     }
 
+    /// Schedules the full cross product `schedulers × loops × machines` —
+    /// "one loop, N machines" batch evaluation.
+    ///
+    /// Returns `matrix[s][l][m]`: scheduler `s` applied to loop `l` on
+    /// machine `m`, in deterministic input order regardless of worker
+    /// interleaving. Every loop gets exactly **one** shared
+    /// [`LoopCore`] — the machine-independent half of the analysis
+    /// (Tarjan's SCCs, backward edges, the dense CSRs, the cycle-ratio
+    /// λ-search, the exact RecMII) is computed by whichever cell touches
+    /// the loop first and reused by every other `(scheduler, machine)`
+    /// cell via [`ModuloScheduler::schedule_loop_with_core`], while the
+    /// per-machine resource facts (ResMII, MRT occupancy) are recomputed
+    /// per cell. The [`std::sync::OnceLock`]s inside the core make the
+    /// sharing race-free under the work-stealing pool.
+    ///
+    /// All `schedulers.len() * loops.len() * machines.len()` cells are
+    /// claimed through the same atomic cursor, and each cell is an
+    /// isolation boundary exactly as in [`BatchEngine::schedule_grid`].
+    pub fn schedule_matrix(
+        &self,
+        schedulers: &[&(dyn ModuloScheduler + Sync)],
+        loops: &[Ddg],
+        machines: &[Machine],
+    ) -> Vec<Vec<Vec<Result<ScheduleOutcome, SchedError>>>> {
+        let cores: Vec<Arc<LoopCore>> = loops.iter().map(|_| Arc::new(LoopCore::new())).collect();
+        let cells: Vec<(usize, usize, usize)> = (0..schedulers.len())
+            .flat_map(|s| {
+                (0..loops.len()).flat_map(move |l| (0..machines.len()).map(move |m| (s, l, m)))
+            })
+            .collect();
+        let mut flat = self
+            .map(&cells, |_, &(s, l, m)| {
+                schedule_cell_with_core(schedulers[s], &loops[l], &machines[m], &cores[l])
+            })
+            .into_iter();
+        schedulers
+            .iter()
+            .map(|_| {
+                loops
+                    .iter()
+                    .map(|_| flat.by_ref().take(machines.len()).collect())
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Like [`BatchEngine::schedule_batch`] but panicking on the first loop
     /// that fails to schedule — for harness inputs that are known to be
     /// schedulable.
@@ -354,6 +426,94 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn schedule_matrix_matches_from_scratch_per_machine_runs() {
+        use hrms_baselines::TopDownScheduler;
+        let loops = LoopGenerator::with_seed(33).generate(6);
+        let machines = [
+            presets::general_purpose(),
+            presets::govindarajan(),
+            presets::perfect_club(),
+            presets::perfect_club_wide(),
+        ];
+        let hrms = HrmsScheduler::new();
+        let top_down = TopDownScheduler::new();
+        let schedulers: Vec<&(dyn ModuloScheduler + Sync)> = vec![&hrms, &top_down];
+
+        let engine = BatchEngine::with_workers(6);
+        let matrix = engine.schedule_matrix(&schedulers, &loops, &machines);
+        assert_eq!(matrix.len(), schedulers.len());
+        for (srow, scheduler) in matrix.iter().zip(&schedulers) {
+            assert_eq!(srow.len(), loops.len());
+            for (lrow, ddg) in srow.iter().zip(&loops) {
+                assert_eq!(lrow.len(), machines.len());
+                for (cell, machine) in lrow.iter().zip(&machines) {
+                    let fresh = scheduler.schedule_loop(ddg, machine).unwrap();
+                    let cell = cell.as_ref().unwrap();
+                    assert_eq!(
+                        cell.schedule,
+                        fresh.schedule,
+                        "scheduler `{}`, loop `{}`, machine `{}`",
+                        scheduler.name(),
+                        ddg.name(),
+                        machine.name()
+                    );
+                    assert_eq!(cell.metrics, fresh.metrics);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_matrix_shares_one_analysis_core_per_loop() {
+        // Single worker → every cell runs inline on this thread, so the
+        // thread-local instrumentation counters observe the whole matrix.
+        let loops = LoopGenerator::with_seed(7).generate(3);
+        let machines = [
+            presets::general_purpose(),
+            presets::govindarajan(),
+            presets::perfect_club(),
+            presets::perfect_club_wide(),
+        ];
+        let hrms = HrmsScheduler::new();
+        let schedulers: Vec<&(dyn ModuloScheduler + Sync)> = vec![&hrms];
+
+        hrms_ddg::instrument::reset();
+        let matrix = BatchEngine::with_workers(1).schedule_matrix(&schedulers, &loops, &machines);
+        assert!(matrix[0].iter().flatten().all(Result::is_ok));
+        assert_eq!(
+            hrms_ddg::instrument::tarjan_runs(),
+            loops.len(),
+            "one Tarjan run per loop across {} machines",
+            machines.len()
+        );
+        assert_eq!(
+            hrms_ddg::instrument::cycle_ratio_runs(),
+            loops.len(),
+            "one cycle-ratio λ-search per loop across {} machines",
+            machines.len()
+        );
+    }
+
+    #[test]
+    fn schedule_matrix_with_empty_axes_keeps_its_shape() {
+        let engine = BatchEngine::with_workers(2);
+        let hrms = HrmsScheduler::new();
+        let schedulers: Vec<&(dyn ModuloScheduler + Sync)> = vec![&hrms];
+        let loops = LoopGenerator::with_seed(2).generate(2);
+        let machines = [presets::govindarajan()];
+
+        let m = engine.schedule_matrix(&schedulers, &loops, &[]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].len(), 2);
+        assert!(m[0].iter().all(Vec::is_empty));
+        let m = engine.schedule_matrix(&schedulers, &[], &machines);
+        assert_eq!(m.len(), 1);
+        assert!(m[0].is_empty());
+        let m = engine.schedule_matrix(&[], &loops, &machines);
+        assert!(m.is_empty());
     }
 
     #[test]

@@ -509,7 +509,7 @@ mod tests {
                 StartNodePolicy::LastInProgramOrder,
             ] {
                 let options = PreOrderOptions { start_node: policy };
-                let dense = pre_order_with(&g, &options);
+                let dense = pre_order_with(&hrms_ddg::LoopAnalysis::analyze(&g), &options);
                 let legacy = pre_order_legacy_with(&g, &options);
                 assert_eq!(dense, legacy, "graph `{}` policy {policy:?}", g.name());
             }

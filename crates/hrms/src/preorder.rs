@@ -86,30 +86,24 @@ pub struct PreOrdering {
     pub node_criticality: Vec<u64>,
 }
 
-/// Pre-orders the nodes of `ddg` with the default options.
-pub fn pre_order(ddg: &Ddg) -> PreOrdering {
-    pre_order_with(ddg, &PreOrderOptions::default())
+/// Pre-orders the nodes of the analysed loop with the default options.
+pub fn pre_order(la: &LoopAnalysis<'_>) -> PreOrdering {
+    pre_order_with(la, &PreOrderOptions::default())
 }
 
-/// Pre-orders the nodes of `ddg`.
+/// Pre-orders the nodes of the analysed loop.
 ///
 /// The returned order contains every node exactly once. Graphs whose
 /// zero-distance subgraph is cyclic (invalid loop bodies) are still ordered
 /// — the order degenerates towards program order — but the scheduling step
 /// will subsequently reject them when computing the MII.
 ///
-/// Builds a fresh [`LoopAnalysis`] internally; callers that also compute
-/// the MII or drive the scheduling step should build the analysis once and
-/// use [`pre_order_with_analysis`] so Tarjan and the CSR construction are
-/// not repeated across phases.
-pub fn pre_order_with(ddg: &Ddg, options: &PreOrderOptions) -> PreOrdering {
-    pre_order_with_analysis(&LoopAnalysis::analyze(ddg), options)
-}
-
-/// [`pre_order_with`] over a shared per-loop analysis: the recurrence
-/// circuits, backward edges and both CSR adjacencies come from (and are
-/// cached in) `la`, so the pre-ordering itself is pure index manipulation.
-pub fn pre_order_with_analysis(la: &LoopAnalysis<'_>, options: &PreOrderOptions) -> PreOrdering {
+/// The recurrence circuits, backward edges and both CSR adjacencies come
+/// from (and are cached in) `la`, so the pre-ordering itself is pure index
+/// manipulation; callers that also compute the MII or drive the scheduling
+/// step hand the same [`LoopAnalysis`] to every phase and Tarjan plus the
+/// CSR construction run once per loop.
+pub fn pre_order_with(la: &LoopAnalysis<'_>, options: &PreOrderOptions) -> PreOrdering {
     let ddg = la.ddg();
     // The enumeration-free recurrence analysis: polynomial in the graph
     // size whatever the density of the SCCs, never truncated. (The legacy
@@ -447,7 +441,7 @@ mod tests {
     #[test]
     fn figure1_is_ordered_as_in_the_paper() {
         let (g, _) = figure1();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         assert_eq!(
             names(&g, &p.order),
             vec!["A", "B", "C", "D", "F", "E", "G"],
@@ -460,7 +454,7 @@ mod tests {
     #[test]
     fn figure7_is_ordered_as_in_the_paper() {
         let (g, _) = figure7();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         assert_eq!(
             names(&g, &p.order),
             vec!["A", "C", "G", "H", "D", "J", "I", "E", "B", "F"],
@@ -471,7 +465,7 @@ mod tests {
     #[test]
     fn every_node_appears_exactly_once() {
         for (g, _) in [figure1(), figure7()] {
-            let p = pre_order(&g);
+            let p = pre_order(&LoopAnalysis::analyze(&g));
             let mut sorted: Vec<NodeId> = p.order.clone();
             sorted.sort();
             sorted.dedup();
@@ -486,7 +480,7 @@ mod tests {
         // the acyclic graph), never both — except for nodes closing a
         // recurrence.
         let (g, _) = figure7();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         let mut placed: HashSet<NodeId> = HashSet::new();
         for &n in &p.order {
             let preds_in = g
@@ -513,7 +507,7 @@ mod tests {
         // have at least one already-ordered neighbour (its "reference
         // operation") in a weakly connected graph.
         let (g, _) = figure7();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         let mut placed: HashSet<NodeId> = HashSet::new();
         for (i, &n) in p.order.iter().enumerate() {
             if i > 0 {
@@ -543,7 +537,7 @@ mod tests {
         b.edge(x, y, DepKind::RegFlow, 0).unwrap();
         b.edge(y, x, DepKind::RegFlow, 1).unwrap();
         let g = b.build().unwrap();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         assert_eq!(p.recurrence_subgraphs, 1);
         let pos = |n: NodeId| p.order.iter().position(|&m| m == n).unwrap();
         assert!(pos(x) < pos(t0));
@@ -567,7 +561,7 @@ mod tests {
         bld.edge(c, d, DepKind::RegFlow, 0).unwrap();
         bld.edge(d, c, DepKind::RegFlow, 1).unwrap();
         let g = bld.build().unwrap();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         let pos = |n: NodeId| p.order.iter().position(|&m| m == n).unwrap();
         assert!(pos(c) < pos(a), "the RecMII-20 recurrence goes first");
         assert!(pos(d) < pos(b));
@@ -588,7 +582,7 @@ mod tests {
         bld.edge(c, d, DepKind::RegFlow, 0).unwrap();
         bld.edge(d, c, DepKind::RegFlow, 1).unwrap();
         let g = bld.build().unwrap();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         assert_eq!(p.order.len(), 4);
         assert_eq!(p.components, 2);
     }
@@ -603,7 +597,7 @@ mod tests {
         b.edge(a, c, DepKind::RegFlow, 0).unwrap();
         b.edge(d, e, DepKind::RegFlow, 0).unwrap();
         let g = b.build().unwrap();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         assert_eq!(p.order.len(), 4);
         assert_eq!(p.components, 2);
     }
@@ -621,7 +615,7 @@ mod tests {
         b.edge(x, y, DepKind::RegFlow, 0).unwrap();
         b.edge(y, x, DepKind::RegFlow, 1).unwrap();
         let g = b.build().unwrap();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         let pos = |n: NodeId| p.order.iter().position(|&m| m == n).unwrap();
         assert!(pos(x) < pos(a));
         assert!(pos(y) < pos(a));
@@ -644,7 +638,7 @@ mod tests {
         }
         b.edge(ids[6], ids[6], DepKind::RegFlow, 1).unwrap();
         let g2 = b.build().unwrap();
-        let p = pre_order(&g2);
+        let p = pre_order(&LoopAnalysis::analyze(&g2));
         let names: Vec<String> = p
             .order
             .iter()
@@ -657,7 +651,7 @@ mod tests {
     fn start_node_policy_changes_the_first_node() {
         let (g, ids) = figure1();
         let p = pre_order_with(
-            &g,
+            &LoopAnalysis::analyze(&g),
             &PreOrderOptions {
                 start_node: StartNodePolicy::Fixed(ids[4]),
             },
@@ -669,7 +663,7 @@ mod tests {
         assert_eq!(p.order.len(), 7);
 
         let p = pre_order_with(
-            &g,
+            &LoopAnalysis::analyze(&g),
             &PreOrderOptions {
                 start_node: StartNodePolicy::LastInProgramOrder,
             },
@@ -729,7 +723,7 @@ mod tests {
         b.edge(r1, s0, DepKind::RegFlow, 1).unwrap();
         b.edge(s1, r0, DepKind::RegFlow, 1).unwrap();
         let g = b.build().unwrap();
-        let p = pre_order(&g);
+        let p = pre_order(&LoopAnalysis::analyze(&g));
         assert_eq!(p.components, 1);
         // Every node ordered exactly once.
         let mut sorted = p.order.clone();

@@ -10,7 +10,9 @@ use hrms_modsched::{
     SchedulerConfig,
 };
 
-use crate::preorder::{pre_order_with, pre_order_with_analysis, PreOrderOptions, PreOrdering};
+use hrms_ddg::LoopCore;
+
+use crate::preorder::{pre_order_with, PreOrderOptions, PreOrdering};
 
 /// How the node order handed to the scheduling step is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,7 +98,7 @@ impl HrmsScheduler {
     /// Runs only the pre-ordering phase (exposed for tests, the ablation
     /// harness and the phase-time measurements of Section 4.2).
     pub fn pre_order(&self, ddg: &Ddg) -> PreOrdering {
-        pre_order_with(ddg, &self.options.preorder)
+        pre_order_with(&LoopAnalysis::analyze(ddg), &self.options.preorder)
     }
 
     /// The node order for the scheduling step, plus whether the recurrence
@@ -106,7 +108,7 @@ impl HrmsScheduler {
     fn node_order(&self, la: &LoopAnalysis<'_>) -> (Vec<NodeId>, bool) {
         match self.options.ordering {
             OrderingMode::HypernodeReduction => {
-                let p = pre_order_with_analysis(la, &self.options.preorder);
+                let p = pre_order_with(la, &self.options.preorder);
                 (p.order, p.truncated)
             }
             OrderingMode::ProgramOrder => (la.ddg().node_ids().collect(), false),
@@ -123,12 +125,23 @@ impl ModuloScheduler for HrmsScheduler {
     }
 
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError> {
+        self.schedule_loop_with_core(ddg, machine, &Arc::new(LoopCore::new()))
+    }
+
+    fn schedule_loop_with_core(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+    ) -> Result<ScheduleOutcome, SchedError> {
         let start = Instant::now();
         // One shared analysis for the whole loop: the MII, the pre-ordering
         // and every placement pass below read from the same cache (Tarjan,
-        // backward edges, CSRs and dependence latencies are computed once).
-        let analysis = LoopAnalysis::analyze(ddg);
-        let mii = MiiInfo::compute_with(ddg, machine, &analysis)?;
+        // backward edges, CSRs and dependence latencies are computed once
+        // per core — shared across machines when the caller threads one
+        // `Arc<LoopCore>` through several `schedule_loop_with_core` calls).
+        let analysis = LoopAnalysis::with_core(ddg, Arc::clone(core));
+        let mii = MiiInfo::compute(machine, &analysis)?;
 
         let order_start = Instant::now();
         let (order, recurrence_truncated) = self.node_order(&analysis);

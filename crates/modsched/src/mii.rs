@@ -3,11 +3,11 @@
 //! The Bellman-Ford cores (longest paths, positive-cycle detection, the
 //! exact RecMII binary search) live in [`hrms_ddg::analysis`] so they can
 //! run over the flat, latency-resolved edge list a [`LoopAnalysis`] caches
-//! once per loop. The free functions here keep the historical
+//! once per loop. The free start-time functions here keep the historical
 //! `(ddg, ii)`-shaped API — each of them flattens the edge list on every
 //! call; callers holding a `LoopAnalysis` use its `earliest_starts` /
-//! `latest_starts` / `rec_mii` methods (or [`zero_slack_nodes_with`])
-//! to reuse the shared cache instead.
+//! `latest_starts` / `rec_mii` methods (or [`zero_slack_nodes`]) to reuse
+//! the shared cache instead.
 
 use hrms_ddg::analysis::{collect_dep_edges, latest_starts_from, longest_paths};
 use hrms_ddg::{Ddg, LoopAnalysis, NodeId};
@@ -30,36 +30,23 @@ pub struct MiiInfo {
 }
 
 impl MiiInfo {
-    /// Computes both bounds.
+    /// Computes both bounds over a shared per-loop analysis: the ResMII
+    /// from `machine`'s resources, the RecMII from (and cached in)
+    /// `analysis` — so a scheduler that also pre-orders or computes start
+    /// times pays the recurrence analysis only once, and N machines
+    /// sharing one [`hrms_ddg::LoopCore`] pay it once in total.
+    ///
+    /// This is the single entry point (the old `compute(ddg, machine)` /
+    /// `compute_with(ddg, machine, analysis)` pair collapsed into it);
+    /// callers without an analysis at hand wrap the graph on the spot:
+    /// `MiiInfo::compute(&machine, &LoopAnalysis::analyze(&ddg))`.
     ///
     /// # Errors
     ///
     /// Returns [`SchedError::ZeroDistanceCycle`] if the loop body contains a
     /// dependence cycle of total distance zero.
-    pub fn compute(ddg: &Ddg, machine: &Machine) -> Result<Self, SchedError> {
-        let res = res_mii(ddg, machine);
-        let rec = rec_mii(ddg)?;
-        Ok(MiiInfo {
-            res_mii: res,
-            rec_mii: rec,
-        })
-    }
-
-    /// [`MiiInfo::compute`] over a shared per-loop analysis: the RecMII
-    /// comes from (and is cached in) `analysis`, so a scheduler that also
-    /// pre-orders or computes start times pays the recurrence analysis only
-    /// once.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SchedError::ZeroDistanceCycle`] if the loop body contains a
-    /// dependence cycle of total distance zero.
-    pub fn compute_with(
-        ddg: &Ddg,
-        machine: &Machine,
-        analysis: &LoopAnalysis<'_>,
-    ) -> Result<Self, SchedError> {
-        let res = res_mii(ddg, machine);
+    pub fn compute(machine: &Machine, analysis: &LoopAnalysis<'_>) -> Result<Self, SchedError> {
+        let res = res_mii(analysis.ddg(), machine);
         let rec = analysis.rec_mii().ok_or(SchedError::ZeroDistanceCycle)?;
         Ok(MiiInfo {
             res_mii: res,
@@ -120,20 +107,11 @@ pub fn latest_starts(ddg: &Ddg, ii: u32, horizon: i64) -> Option<Vec<i64>> {
 
 /// Convenience: the set of nodes whose earliest and latest start coincide at
 /// `ii` (zero slack), i.e. the nodes on the binding recurrence/critical
-/// path. Builds the latency-resolved edge list once and runs both
-/// Bellman-Ford passes over it (it used to be rebuilt per pass).
-pub fn zero_slack_nodes(ddg: &Ddg, ii: u32) -> Vec<NodeId> {
-    let edges = collect_dep_edges(ddg);
-    zero_slack_over(ddg, &edges, ii)
-}
-
-/// [`zero_slack_nodes`] over a shared per-loop analysis (no edge-list
-/// rebuild at all).
-pub fn zero_slack_nodes_with(analysis: &LoopAnalysis<'_>, ii: u32) -> Vec<NodeId> {
-    zero_slack_over(analysis.ddg(), analysis.dep_edges(), ii)
-}
-
-fn zero_slack_over(ddg: &Ddg, edges: &[hrms_ddg::DepEdge], ii: u32) -> Vec<NodeId> {
+/// path, over a shared per-loop analysis (the cached edge list drives both
+/// Bellman-Ford passes; the old `zero_slack_nodes(ddg, ii)` /
+/// `zero_slack_nodes_with(analysis, ii)` pair collapsed into this).
+pub fn zero_slack_nodes(analysis: &LoopAnalysis<'_>, ii: u32) -> Vec<NodeId> {
+    let (ddg, edges) = (analysis.ddg(), analysis.dep_edges());
     let n = ddg.num_nodes();
     let Some(early) = longest_paths(n, edges, ii) else {
         return Vec::new();
@@ -176,7 +154,7 @@ mod tests {
     fn acyclic_graph_has_zero_rec_mii() {
         let g = hrms_ddg::chain("c", 5, OpKind::FpAdd, 1);
         assert_eq!(rec_mii(&g).unwrap(), 0);
-        let info = MiiInfo::compute(&g, &presets::govindarajan()).unwrap();
+        let info = MiiInfo::compute(&presets::govindarajan(), &LoopAnalysis::analyze(&g)).unwrap();
         assert_eq!(info.rec_mii, 0);
         assert_eq!(info.mii(), info.res_mii);
         assert!(!info.recurrence_bound());
@@ -221,14 +199,14 @@ mod tests {
         b.edge(c, a, DepKind::RegFlow, 0).unwrap();
         let g = b.build().unwrap();
         assert_eq!(rec_mii(&g), Err(SchedError::ZeroDistanceCycle));
-        assert!(MiiInfo::compute(&g, &presets::govindarajan()).is_err());
+        assert!(MiiInfo::compute(&presets::govindarajan(), &LoopAnalysis::analyze(&g)).is_err());
     }
 
     #[test]
     fn mii_takes_the_larger_bound() {
         let g = accumulator_loop();
         let m = presets::govindarajan();
-        let info = MiiInfo::compute(&g, &m).unwrap();
+        let info = MiiInfo::compute(&m, &LoopAnalysis::analyze(&g)).unwrap();
         // ResMII: 1 load + 1 mul + 1 add on distinct single units -> 1 each;
         // RecMII = 1; MII = 1.
         assert_eq!(info.mii(), 1);
@@ -240,7 +218,7 @@ mod tests {
         b.edge(acc, div, DepKind::RegFlow, 0).unwrap();
         b.edge(div, acc, DepKind::RegFlow, 1).unwrap();
         let g = b.build().unwrap();
-        let info = MiiInfo::compute(&g, &m).unwrap();
+        let info = MiiInfo::compute(&m, &LoopAnalysis::analyze(&g)).unwrap();
         assert_eq!(info.rec_mii, 18);
         assert!(info.recurrence_bound());
         assert_eq!(info.mii(), 18);
@@ -292,7 +270,7 @@ mod tests {
         b.edge(c, a, DepKind::RegFlow, 1).unwrap();
         b.edge(free, c, DepKind::RegFlow, 0).unwrap();
         let g = b.build().unwrap();
-        let critical = zero_slack_nodes(&g, 8);
+        let critical = zero_slack_nodes(&LoopAnalysis::analyze(&g), 8);
         assert!(critical.contains(&a));
         assert!(critical.contains(&c));
         assert!(!critical.contains(&free));

@@ -177,7 +177,7 @@ mod tests {
         b.edge(ld, add, DepKind::RegFlow, 0).unwrap();
         let g = b.build().unwrap();
         let m = presets::govindarajan();
-        let mii = MiiInfo::compute(&g, &m).unwrap();
+        let mii = MiiInfo::compute(&m, &hrms_ddg::LoopAnalysis::analyze(&g)).unwrap();
         let outcome = ScheduleOutcome::new(
             &g,
             Schedule::new(1, vec![0, 2]),

@@ -1,9 +1,10 @@
 //! The scheduler interface shared by HRMS and the baseline schedulers.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
-use hrms_ddg::Ddg;
+use hrms_ddg::{Ddg, LoopCore};
 use hrms_machine::Machine;
 
 use crate::error::SchedError;
@@ -183,6 +184,31 @@ pub trait ModuloScheduler {
     /// Returns a [`SchedError`] when the loop cannot be scheduled (malformed
     /// graph, or the II/search budget was exhausted).
     fn schedule_loop(&self, ddg: &Ddg, machine: &Machine) -> Result<ScheduleOutcome, SchedError>;
+
+    /// Schedules one loop on the given machine, reusing a shared
+    /// machine-independent analysis core (see [`LoopCore`]).
+    ///
+    /// Batch drivers scheduling the *same* loop against several machines
+    /// build one `Arc<LoopCore>` per loop and pass it to every cell, so
+    /// Tarjan, the cycle-ratio λ-search and every other structural
+    /// analysis run once per loop instead of once per (loop, machine)
+    /// pair. The default implementation ignores the core and falls back
+    /// to [`ModuloScheduler::schedule_loop`]; every scheduler in this
+    /// workspace overrides it to thread the core through its analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedError`] when the loop cannot be scheduled (malformed
+    /// graph, or the II/search budget was exhausted).
+    fn schedule_loop_with_core(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+    ) -> Result<ScheduleOutcome, SchedError> {
+        let _ = core;
+        self.schedule_loop(ddg, machine)
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +226,7 @@ mod tests {
         b.invariants(1);
         let g = b.build().unwrap();
         let m = presets::govindarajan();
-        let mii = MiiInfo::compute(&g, &m).unwrap();
+        let mii = MiiInfo::compute(&m, &hrms_ddg::LoopAnalysis::analyze(&g)).unwrap();
         let s = Schedule::new(1, vec![0, 2]);
         let metrics = ScheduleMetrics::compute(&g, &s, mii);
         assert_eq!(metrics.ii, 1);
@@ -233,7 +259,7 @@ mod tests {
         b.node("a", OpKind::FpAdd, 1);
         let g = b.build().unwrap();
         let m = presets::govindarajan();
-        let mii = MiiInfo::compute(&g, &m).unwrap();
+        let mii = MiiInfo::compute(&m, &hrms_ddg::LoopAnalysis::analyze(&g)).unwrap();
         let outcome = ScheduleOutcome::new(
             &g,
             Schedule::new(1, vec![0]),

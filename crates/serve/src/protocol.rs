@@ -55,8 +55,10 @@ pub struct ScheduleRequest {
     pub id: Value,
     /// Scheduler slug (`crate::registry::scheduler_by_slug`).
     pub scheduler: String,
-    /// Machine preset name or inline `.machine` text.
-    pub machine: String,
+    /// Machine references — preset names and/or inline `.machine` text —
+    /// from the singular `machine` field (one entry) or the `machines`
+    /// array (one result record per loop × machine cell). Never empty.
+    pub machines: Vec<String>,
     /// Loop entries: `.loop` text (possibly multi-loop) or DOT,
     /// auto-detected per entry.
     pub loops: Vec<String>,
@@ -163,7 +165,42 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         "shutdown" => Ok(Request::Shutdown { id }),
         "schedule" => {
             let scheduler = string_field(&value, &id, "scheduler", "hrms")?;
-            let machine = string_field(&value, &id, "machine", "govindarajan")?;
+            let machines = match value.get("machines") {
+                Some(Value::Arr(items)) => {
+                    if value.get("machine").is_some() {
+                        return Err(RequestError::new(
+                            id,
+                            "give either `machine` or `machines`, not both",
+                        ));
+                    }
+                    if items.is_empty() {
+                        return Err(RequestError::new(id, "`machines` must not be empty"));
+                    }
+                    let mut texts = Vec::with_capacity(items.len());
+                    for (i, item) in items.iter().enumerate() {
+                        match item {
+                            Value::Str(s) => texts.push(s.clone()),
+                            _ => {
+                                return Err(RequestError::new(
+                                    id,
+                                    format!(
+                                        "machines[{i}] must be a string (preset name or \
+                                         `.machine` text)"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    texts
+                }
+                Some(_) => {
+                    return Err(RequestError::new(
+                        id,
+                        "`machines` must be an array of strings",
+                    ));
+                }
+                None => vec![string_field(&value, &id, "machine", "govindarajan")?],
+            };
             let cache = bool_field(&value, &id, "cache", true)?;
             let timing = bool_field(&value, &id, "timing", false)?;
             let loops = match value.get("loops") {
@@ -195,7 +232,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             Ok(Request::Schedule(ScheduleRequest {
                 id,
                 scheduler,
-                machine,
+                machines,
                 loops,
                 cache,
                 timing,
@@ -261,17 +298,26 @@ pub fn done_record(id: &Value, results: usize, errors: usize) -> String {
 }
 
 /// The `stats` response record.
+///
+/// `cores` counts the distinct loop (core) fingerprints ever scheduled;
+/// `core_machine_keys` counts the distinct (core fingerprint, machine
+/// digest) pairs. Their ratio makes multi-machine batches observable: a
+/// batch of one loop against four machines moves `cores` by one and
+/// `core_machine_keys` by four.
 pub fn stats_record(
     id: &Value,
     cache: CacheStats,
+    cores: usize,
+    core_machine_keys: usize,
     requests: u64,
     results: u64,
     errors: u64,
 ) -> String {
     format!(
         "{{\"type\":\"stats\",\"id\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\
-         \"entries\":{},\"capacity\":{},\"requests\":{requests},\"results\":{results},\
-         \"errors\":{errors}}}",
+         \"entries\":{},\"capacity\":{},\"cores\":{cores},\
+         \"core_machine_keys\":{core_machine_keys},\"requests\":{requests},\
+         \"results\":{results},\"errors\":{errors}}}",
         id.to_json(),
         cache.hits,
         cache.misses,
@@ -298,13 +344,39 @@ mod tests {
             Request::Schedule(s) => {
                 assert_eq!(s.id, Value::Null);
                 assert_eq!(s.scheduler, "hrms");
-                assert_eq!(s.machine, "govindarajan");
+                assert_eq!(s.machines, vec!["govindarajan".to_string()]);
                 assert!(s.cache);
                 assert!(!s.timing);
                 assert_eq!(s.loops.len(), 1);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn machines_arrays_parse_and_misuses_are_named() {
+        let r = parse_request(
+            r#"{"req":"schedule","machines":["govindarajan","perfect-club"],"loops":["x"]}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Schedule(s) => {
+                assert_eq!(
+                    s.machines,
+                    vec!["govindarajan".to_string(), "perfect-club".to_string()]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse_request(r#"{"req":"schedule","machine":"a","machines":["b"],"loops":["x"]}"#)
+            .unwrap_err();
+        assert!(e.message.contains("not both"), "{}", e.message);
+        let e = parse_request(r#"{"req":"schedule","machines":[],"loops":["x"]}"#).unwrap_err();
+        assert!(e.message.contains("must not be empty"), "{}", e.message);
+        let e = parse_request(r#"{"req":"schedule","machines":[7],"loops":["x"]}"#).unwrap_err();
+        assert!(e.message.contains("machines[0]"), "{}", e.message);
+        let e = parse_request(r#"{"req":"schedule","machines":"a","loops":["x"]}"#).unwrap_err();
+        assert!(e.message.contains("array of strings"), "{}", e.message);
     }
 
     #[test]

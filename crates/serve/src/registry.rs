@@ -81,28 +81,105 @@ pub fn all_schedulers() -> Vec<BoxedScheduler> {
         .collect()
 }
 
-/// Resolves a `--machine` argument: first as a preset slug
-/// ([`presets::by_name`]), then as a path to a `.machine` file.
+/// Whether [`resolve_machine`] may read `.machine` files from disk.
 ///
-/// This is the *CLI* resolution rule — it touches the filesystem. The
-/// service protocol resolves machines with
-/// [`crate::resolve_machine_request`] instead, which deliberately never
-/// reads files on behalf of a remote client.
+/// The CLI resolves on behalf of a local user and allows files; the
+/// service resolves on behalf of a remote client and must never read
+/// server-side files, whatever the request says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineFiles {
+    /// Unresolved names may be tried as paths to `.machine` files.
+    Allow,
+    /// The filesystem is never touched (service policy).
+    Deny,
+}
+
+/// A failed [`resolve_machine`] call, split by stage so callers can attach
+/// the right context (the service adds span diagnostics to
+/// [`MachineError::InlineParse`]; the CLI just formats the message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The reference was inline `.machine` text that does not parse.
+    InlineParse {
+        /// The parse error, already rendered.
+        error: String,
+    },
+    /// The reference named a readable file whose contents do not parse.
+    FileParse {
+        /// The path that was read.
+        path: String,
+        /// The parse error, already rendered.
+        error: String,
+    },
+    /// The reference is no preset, no inline text, and — under
+    /// [`MachineFiles::Allow`] — no readable file either.
+    Unknown {
+        /// The unresolvable reference.
+        name: String,
+        /// The I/O error from the file attempt, when files were allowed.
+        io: Option<String>,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::InlineParse { error } => {
+                write!(f, "inline machine does not parse: {error}")
+            }
+            MachineError::FileParse { path, error } => write!(f, "{path}: {error}"),
+            MachineError::Unknown { name, io: Some(io) } => write!(
+                f,
+                "`{name}` is not a machine preset ({}), inline `.machine` text, or a readable \
+                 file: {io}",
+                presets::PRESET_NAMES.join(", ")
+            ),
+            MachineError::Unknown { name, io: None } => write!(
+                f,
+                "`{name}` is not a machine preset ({}) or inline `.machine` text",
+                presets::PRESET_NAMES.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Resolves a machine reference — the CLI's `--machine` values and the
+/// service protocol's `machine`/`machines` entries go through this one
+/// function, so a reference means the same thing everywhere:
+///
+/// 1. inline `.machine` text (auto-detected by its `machine` header),
+/// 2. a preset name ([`presets::by_name`]),
+/// 3. under [`MachineFiles::Allow`] only, a path to a `.machine` file.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message when the name is neither a preset nor
-/// a readable, well-formed machine file.
-pub fn resolve_machine(name: &str) -> Result<Machine, String> {
-    if let Some(machine) = presets::by_name(name) {
+/// Returns a [`MachineError`] naming the failing stage.
+pub fn resolve_machine(reference: &str, files: MachineFiles) -> Result<Machine, MachineError> {
+    if crate::protocol::looks_like_machine(reference) {
+        return hrms_machine::parse_machine(reference).map_err(|e| MachineError::InlineParse {
+            error: e.to_string(),
+        });
+    }
+    if let Some(machine) = presets::by_name(reference) {
         return Ok(machine);
     }
-    match std::fs::read_to_string(name) {
-        Ok(text) => hrms_machine::parse_machine(&text).map_err(|e| format!("{name}: {e}")),
-        Err(io) => Err(format!(
-            "`{name}` is neither a machine preset ({}) nor a readable file: {io}",
-            presets::PRESET_NAMES.join(", ")
-        )),
+    if files == MachineFiles::Deny {
+        return Err(MachineError::Unknown {
+            name: reference.to_string(),
+            io: None,
+        });
+    }
+    match std::fs::read_to_string(reference) {
+        Ok(text) => hrms_machine::parse_machine(&text).map_err(|e| MachineError::FileParse {
+            path: reference.to_string(),
+            error: e.to_string(),
+        }),
+        Err(io) => Err(MachineError::Unknown {
+            name: reference.to_string(),
+            io: Some(io.to_string()),
+        }),
     }
 }
 
@@ -129,14 +206,48 @@ mod tests {
 
     #[test]
     fn machine_presets_resolve_and_bad_names_explain_themselves() {
-        assert_eq!(
-            resolve_machine("govindarajan").unwrap().name(),
-            "govindarajan-4fu"
-        );
-        let err = resolve_machine("no-such-machine").unwrap_err();
+        for files in [MachineFiles::Allow, MachineFiles::Deny] {
+            assert_eq!(
+                resolve_machine("govindarajan", files).unwrap().name(),
+                "govindarajan-4fu"
+            );
+            let err = resolve_machine("no-such-machine", files)
+                .unwrap_err()
+                .to_string();
+            assert!(
+                err.contains("perfect-club"),
+                "error lists the presets: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn inline_machine_text_resolves_under_both_policies() {
+        let inline = hrms_machine::write_machine(&presets::perfect_club());
+        for files in [MachineFiles::Allow, MachineFiles::Deny] {
+            assert_eq!(
+                resolve_machine(&inline, files).unwrap().name(),
+                "perfect-club-8fu"
+            );
+        }
+        let err = resolve_machine("machine m\n  zzz\nend\n", MachineFiles::Deny).unwrap_err();
+        assert!(matches!(err, MachineError::InlineParse { .. }), "{err}");
+    }
+
+    #[test]
+    fn file_resolution_is_a_policy_decision() {
+        let dir = std::env::temp_dir().join("hrms-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resolve.machine");
+        std::fs::write(&path, hrms_machine::write_machine(&presets::govindarajan())).unwrap();
+        let path = path.to_str().unwrap();
+
+        let m = resolve_machine(path, MachineFiles::Allow).unwrap();
+        assert_eq!(m.name(), "govindarajan-4fu");
+        let err = resolve_machine(path, MachineFiles::Deny).unwrap_err();
         assert!(
-            err.contains("perfect-club"),
-            "error lists the presets: {err}"
+            matches!(err, MachineError::Unknown { io: None, .. }),
+            "the service policy never reads files: {err}"
         );
     }
 

@@ -11,8 +11,11 @@
 //! suite):
 //!
 //! * **Input-order streaming.** A `schedule` batch answers with exactly
-//!   one record per loop, in input order, no matter how the cells were
-//!   interleaved across the worker pool.
+//!   one record per loop × machine cell, loop-major in input order, no
+//!   matter how the cells were interleaved across the worker pool.
+//! * **Each loop is analysed once per request.** All machines a request
+//!   names share one [`hrms_ddg::LoopCore`] per loop; only the cheap
+//!   per-machine overlay differs between cells.
 //! * **Each distinct loop is paid for once.** Results are cached under
 //!   the content-addressed [`hrms_ddg::cache_key`]; duplicate entries —
 //!   within one batch or across requests — are served from cache, and
@@ -29,21 +32,22 @@
 //!   work — requests are handled to completion in arrival order — then
 //!   closes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-use hrms_ddg::{cache_key, ddg_fingerprint, dot, parse_loops, Ddg};
-use hrms_engine::{BatchEngine, CacheStats, ResultCache};
-use hrms_machine::{machine_fingerprint, parse_machine, presets, Machine};
+use hrms_ddg::{cache_key, ddg_fingerprint, dot, parse_loops, Ddg, LoopCore};
+use hrms_engine::{schedule_cell_with_core, BatchEngine, CacheStats, ResultCache};
+use hrms_machine::{machine_fingerprint, Machine};
 use hrms_modsched::{error_line, report_line, ReportOptions};
 use hrms_verify::{lint_dot_source, lint_loop_source, lint_machine_source};
 
 use crate::protocol::{
-    bye_record, cell_error_record, done_record, looks_like_dot, looks_like_machine, parse_request,
+    bye_record, cell_error_record, done_record, looks_like_dot, parse_request,
     request_error_record, result_record, stats_record, Request, RequestError, ScheduleRequest,
 };
-use crate::registry::scheduler_by_slug;
+use crate::registry::{resolve_machine, scheduler_by_slug, MachineError, MachineFiles};
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,28 +72,22 @@ impl Default for ServeConfig {
     }
 }
 
-/// Resolves the `machine` field of a schedule request: a preset name, or
-/// inline `.machine` text (auto-detected). Never touches the filesystem —
-/// a remote client must not be able to read server-side files.
+/// Resolves one machine entry of a schedule request through the shared
+/// [`resolve_machine`] registry under the service policy
+/// ([`MachineFiles::Deny`] — a remote client must not be able to read
+/// server-side files), attaching span diagnostics when inline `.machine`
+/// text fails to parse.
 pub fn resolve_machine_request(id: &Value, text: &str) -> Result<Machine, RequestError> {
-    if looks_like_machine(text) {
-        return parse_machine(text).map_err(|e| RequestError {
+    resolve_machine(text, MachineFiles::Deny).map_err(|e| match e {
+        MachineError::InlineParse { .. } => RequestError {
             id: id.clone(),
-            message: format!("inline machine does not parse: {e}"),
+            message: e.to_string(),
             diagnostics: lint_machine_source(text)
                 .iter()
                 .map(|d| d.render_json("machine"))
                 .collect(),
-        });
-    }
-    presets::by_name(text).ok_or_else(|| {
-        RequestError::new(
-            id.clone(),
-            format!(
-                "`{text}` is not a machine preset ({}) or inline `.machine` text",
-                presets::PRESET_NAMES.join(", ")
-            ),
-        )
+        },
+        other => RequestError::new(id.clone(), other.to_string()),
     })
 }
 
@@ -109,6 +107,10 @@ pub struct Service {
     engine: BatchEngine,
     cache: ResultCache<String>,
     cache_enabled: bool,
+    /// Distinct machine digests seen per loop-core fingerprint on the
+    /// caching path — the `stats` breakdown that makes multi-machine
+    /// batches observable (one core amortised across N machine keys).
+    seen: HashMap<u64, HashSet<u64>>,
     requests: u64,
     results: u64,
     errors: u64,
@@ -124,6 +126,7 @@ impl Service {
             },
             cache: ResultCache::with_capacity(config.cache_capacity),
             cache_enabled: config.cache,
+            seen: HashMap::new(),
             requests: 0,
             results: 0,
             errors: 0,
@@ -157,6 +160,8 @@ impl Service {
                 emit(&stats_record(
                     &id,
                     self.cache.stats(),
+                    self.seen.len(),
+                    self.seen.values().map(HashSet::len).sum(),
                     self.requests,
                     self.results,
                     self.errors,
@@ -231,57 +236,75 @@ impl Service {
                 ),
             )
         })?;
-        let machine = resolve_machine_request(id, &request.machine)?;
+        let machines = request
+            .machines
+            .iter()
+            .map(|text| resolve_machine_request(id, text))
+            .collect::<Result<Vec<Machine>, RequestError>>()?;
         let loops = Self::parse_request_loops(id, &request.loops).map_err(|e| *e)?;
 
         self.requests += 1;
         let scheduler_name = scheduler.name().to_string();
-        let machine_digest = machine_fingerprint(&machine);
-        let keys: Vec<u64> = loops
-            .iter()
-            .map(|l| cache_key(ddg_fingerprint(l), machine_digest, &scheduler_name))
-            .collect();
+        let core_fps: Vec<u64> = loops.iter().map(ddg_fingerprint).collect();
+        let machine_digests: Vec<u64> = machines.iter().map(machine_fingerprint).collect();
+        // Cells are loop-major: the record for loop `l` on machine `m` has
+        // index `l * machines.len() + m`, so single-machine requests keep
+        // their historical loop-per-record indexing.
+        let mut keys = Vec::with_capacity(core_fps.len() * machine_digests.len());
+        for &fp in &core_fps {
+            for &digest in &machine_digests {
+                keys.push(cache_key(fp, digest, &scheduler_name));
+            }
+        }
+        for &fp in &core_fps {
+            let digests = self.seen.entry(fp).or_default();
+            digests.extend(machine_digests.iter().copied());
+        }
 
         let use_cache = self.cache_enabled && request.cache && !request.timing;
         let bodies: HashMap<u64, CellBody> = if use_cache {
-            self.cached_bodies(&scheduler_name, &*scheduler, &loops, &keys, &machine)
+            self.cached_bodies(&scheduler_name, &*scheduler, &loops, &machines, &keys)
         } else {
             // A cold run: every cell is scheduled independently — no
-            // dedup, no cache reads or writes, no counter movement. This
-            // is the baseline the cache contract is tested against.
-            let outcomes = self
+            // dedup, no cache reads or writes, no counter movement (one
+            // analysis core per loop is still shared across machines).
+            // This is the baseline the cache contract is tested against.
+            let matrix = self
                 .engine
-                .schedule_batch_contained(&*scheduler, &loops, &machine);
+                .schedule_matrix(&[&*scheduler], &loops, &machines);
             let options = ReportOptions {
                 timing: request.timing,
             };
             // Later duplicates overwrite earlier ones with identical
             // bytes (deterministic schedulers), so the map is still one
             // body per key.
-            keys.iter()
-                .zip(loops.iter().zip(outcomes))
-                .map(|(&key, (ddg, outcome))| {
+            let mut bodies = HashMap::new();
+            let per_loop = matrix.into_iter().next().expect("one scheduler");
+            for (l, per_machine) in per_loop.into_iter().enumerate() {
+                for (m, outcome) in per_machine.into_iter().enumerate() {
                     let body = match outcome {
                         Ok(outcome) => CellBody::Ok(report_line(
-                            ddg,
-                            &machine,
+                            &loops[l],
+                            &machines[m],
                             &scheduler_name,
                             &outcome,
                             options,
                         )),
                         Err(e) => CellBody::Err(error_line(
-                            ddg.name(),
+                            loops[l].name(),
                             &scheduler_name,
-                            machine.name(),
+                            machines[m].name(),
                             &e.to_string(),
                         )),
                     };
-                    (key, body)
-                })
-                .collect()
+                    bodies.insert(keys[l * machines.len() + m], body);
+                }
+            }
+            bodies
         };
 
-        let mut records = Vec::with_capacity(loops.len() + 1);
+        let cells = keys.len();
+        let mut records = Vec::with_capacity(cells + 1);
         let mut errors = 0usize;
         for (index, &key) in keys.iter().enumerate() {
             match &bodies[&key] {
@@ -292,9 +315,9 @@ impl Service {
                 }
             }
         }
-        self.results += (loops.len() - errors) as u64;
+        self.results += (cells - errors) as u64;
         self.errors += errors as u64;
-        records.push(done_record(id, loops.len() - errors, errors));
+        records.push(done_record(id, cells - errors, errors));
         Ok(records)
     }
 
@@ -303,14 +326,16 @@ impl Service {
     /// with the successful records. Every cell counts as exactly one hit
     /// or miss: the first occurrence of a key is a real lookup, batch-local
     /// duplicates count as hits (they are served from the in-flight
-    /// result).
+    /// result). Misses that share a loop share one analysis core, so the
+    /// machine-independent analysis is paid once per loop however many
+    /// machines the request names.
     fn cached_bodies(
         &mut self,
         scheduler_name: &str,
         scheduler: &(dyn hrms_modsched::ModuloScheduler + Sync),
         loops: &[Ddg],
+        machines: &[Machine],
         keys: &[u64],
-        machine: &Machine,
     ) -> HashMap<u64, CellBody> {
         let mut bodies: HashMap<u64, CellBody> = HashMap::new();
         let mut to_schedule: Vec<usize> = Vec::new();
@@ -324,17 +349,19 @@ impl Service {
             }
         }
 
-        let distinct: Vec<Ddg> = to_schedule.iter().map(|&i| loops[i].clone()).collect();
-        let outcomes = self
-            .engine
-            .schedule_batch_contained(scheduler, &distinct, machine);
-        for ((&i, ddg), outcome) in to_schedule.iter().zip(&distinct).zip(outcomes) {
-            let key = keys[i];
+        let cores: Vec<Arc<LoopCore>> = loops.iter().map(|_| Arc::new(LoopCore::new())).collect();
+        let outcomes = self.engine.map(&to_schedule, |_, &cell| {
+            let (l, m) = (cell / machines.len(), cell % machines.len());
+            schedule_cell_with_core(scheduler, &loops[l], &machines[m], &cores[l])
+        });
+        for (&cell, outcome) in to_schedule.iter().zip(outcomes) {
+            let (l, m) = (cell / machines.len(), cell % machines.len());
+            let key = keys[cell];
             match outcome {
                 Ok(outcome) => {
                     let body = report_line(
-                        ddg,
-                        machine,
+                        &loops[l],
+                        &machines[m],
                         scheduler_name,
                         &outcome,
                         ReportOptions { timing: false },
@@ -349,9 +376,9 @@ impl Service {
                     bodies.insert(
                         key,
                         CellBody::Err(error_line(
-                            ddg.name(),
+                            loops[l].name(),
                             scheduler_name,
-                            machine.name(),
+                            machines[m].name(),
                             &e.to_string(),
                         )),
                     );

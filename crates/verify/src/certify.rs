@@ -298,7 +298,7 @@ pub fn certify(ddg: &Ddg, machine: &Machine, schedule: &Schedule) -> Certificate
     );
 
     // S004: the II must not beat the re-derived lower bound.
-    match MiiInfo::compute(ddg, machine) {
+    match MiiInfo::compute(machine, &hrms_ddg::LoopAnalysis::analyze(ddg)) {
         Ok(info) => {
             cert.res_mii = info.res_mii;
             cert.rec_mii = Some(info.rec_mii);

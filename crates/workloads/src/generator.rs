@@ -486,7 +486,7 @@ mod tests {
         let m = presets::perfect_club();
         let loops = LoopGenerator::with_seed(42).generate(50);
         for g in &loops {
-            let info = MiiInfo::compute(g, &m)
+            let info = MiiInfo::compute(&m, &hrms_ddg::LoopAnalysis::analyze(g))
                 .unwrap_or_else(|e| panic!("generated loop `{}` invalid: {e}", g.name()));
             assert!(info.mii() >= 1);
         }

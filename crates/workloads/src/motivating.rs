@@ -150,6 +150,7 @@ pub fn all() -> Vec<Ddg> {
 mod tests {
     use super::*;
     use hrms_core::pre_order;
+    use hrms_ddg::LoopAnalysis;
     use hrms_ddg::RecurrenceInfo;
 
     #[test]
@@ -162,7 +163,7 @@ mod tests {
     #[test]
     fn figure7_preorders_as_in_the_paper() {
         let g = figure7();
-        let order = pre_order(&g).order;
+        let order = pre_order(&LoopAnalysis::analyze(&g)).order;
         let names: Vec<&str> = order.iter().map(|&n| g.node(n).name()).collect();
         assert_eq!(
             names,
@@ -188,7 +189,7 @@ mod tests {
         let g = figure10_style();
         let info = RecurrenceInfo::analyze(&g);
         assert_eq!(info.subgraphs.len(), 2);
-        let order = pre_order(&g).order;
+        let order = pre_order(&LoopAnalysis::analyze(&g)).order;
         let pos = |name: &str| {
             order
                 .iter()

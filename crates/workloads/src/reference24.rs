@@ -528,7 +528,7 @@ mod tests {
     fn every_loop_is_well_formed_for_the_table1_machine() {
         let m = presets::govindarajan();
         for g in all() {
-            let info = MiiInfo::compute(&g, &m)
+            let info = MiiInfo::compute(&m, &hrms_ddg::LoopAnalysis::analyze(&g))
                 .unwrap_or_else(|e| panic!("loop `{}` is invalid: {e}", g.name()));
             assert!(info.mii() >= 1);
             assert!(g.num_nodes() >= 3, "loop `{}` is too small", g.name());
@@ -560,7 +560,7 @@ mod tests {
         let mut rec_bound = 0;
         let mut res_bound = 0;
         for g in all() {
-            let info = MiiInfo::compute(&g, &m).unwrap();
+            let info = MiiInfo::compute(&m, &hrms_ddg::LoopAnalysis::analyze(&g)).unwrap();
             if info.recurrence_bound() {
                 rec_bound += 1;
             } else {

@@ -218,7 +218,8 @@ mod tests {
     fn a_sample_of_the_suite_is_schedulable_on_the_section42_machine() {
         let m = presets::perfect_club();
         for g in perfect_club_like_sized(60) {
-            MiiInfo::compute(&g, &m).unwrap_or_else(|e| panic!("loop `{}` invalid: {e}", g.name()));
+            MiiInfo::compute(&m, &hrms_ddg::LoopAnalysis::analyze(&g))
+                .unwrap_or_else(|e| panic!("loop `{}` invalid: {e}", g.name()));
         }
     }
 

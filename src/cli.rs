@@ -16,7 +16,8 @@ use hrms_serve::{looks_like_dot, looks_like_machine, ServeConfig, Service};
 use hrms_verify::{certify, lint_dot_source, lint_loop_source, lint_machine_source, Diagnostic};
 
 use crate::registry::{
-    all_schedulers, resolve_machine, scheduler_by_slug, BoxedScheduler, SCHEDULER_SLUGS,
+    all_schedulers, resolve_machine, scheduler_by_slug, BoxedScheduler, MachineFiles,
+    SCHEDULER_SLUGS,
 };
 
 /// A CLI failure: a message for stderr and the process exit code.
@@ -64,7 +65,7 @@ const USAGE: &str = "\
 hrms — software pipelining with Hypernode Reduction Modulo Scheduling
 
 USAGE:
-    hrms schedule <FILE|->...  [--scheduler <slugs>|all] [--machine <preset|file>]
+    hrms schedule <FILE|->...  [--scheduler <slugs>|all] [--machine <presets|files>]
                                [--emit kernel|json|dot] [--timing] [--workers N]
                                [--certify]
     hrms lint     <FILE|->...  [--machine <preset|file>] [--format text|json]
@@ -76,7 +77,10 @@ USAGE:
 
 Loop inputs are `.loop` files (docs/FORMATS.md) or Graphviz DOT files
 (auto-detected); `-` reads from stdin. `--scheduler` takes a
-comma-separated list of slugs (default: hrms). `lint` also accepts
+comma-separated list of slugs (default: hrms); `--machine` a
+comma-separated list of presets or `.machine` files (default:
+govindarajan) — each loop is analysed once and scheduled on every
+machine. `lint` also accepts
 `.machine` inputs (auto-detected) and exits 1 when it finds anything
 (docs/DIAGNOSTICS.md); `--certify` re-checks every produced schedule with
 the independent certifier from hrms-verify. `serve` runs the batch
@@ -195,7 +199,13 @@ fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
     }
 
     let loops = load_loops(&sources, stdin)?;
-    let machine = resolve_machine(&machine_arg).map_err(CliError::data)?;
+    let machines = machine_arg
+        .split(',')
+        .map(|name| {
+            resolve_machine(name.trim(), MachineFiles::Allow)
+                .map_err(|e| CliError::data(e.to_string()))
+        })
+        .collect::<Result<Vec<Machine>, CliError>>()?;
 
     if emit == Emit::Dot {
         // DOT output is a property of the loops alone; no scheduling runs.
@@ -228,74 +238,79 @@ fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
         Some(n) => BatchEngine::with_workers(n),
         None => BatchEngine::new(),
     };
-    let grid = engine.schedule_grid(&scheduler_refs, &loops, &machine);
+    let matrix = engine.schedule_matrix(&scheduler_refs, &loops, &machines);
 
-    // Loop-major output: all schedulers for loop 0, then loop 1, ... The
-    // engine's grid is deterministic, so this stream is byte-stable.
+    // Loop-major output: all schedulers for loop 0 (each on every machine,
+    // in `--machine` order), then loop 1, ... The engine's matrix is
+    // deterministic, so this stream is byte-stable — and with a single
+    // machine it is byte-identical to the historical grid output.
     let mut out = String::new();
     let mut failures = 0usize;
     for (l, ddg) in loops.iter().enumerate() {
         for (s, scheduler) in scheduler_refs.iter().enumerate() {
-            match &grid[s][l] {
-                Ok(outcome) => {
-                    match emit {
-                        Emit::Kernel => render_kernel(
-                            &mut out,
-                            ddg,
-                            &machine,
-                            scheduler.name(),
-                            outcome,
-                            timing,
-                        ),
-                        Emit::Json => {
-                            out.push_str(&report_line(
+            for (m, machine) in machines.iter().enumerate() {
+                match &matrix[s][l][m] {
+                    Ok(outcome) => {
+                        match emit {
+                            Emit::Kernel => render_kernel(
+                                &mut out,
                                 ddg,
-                                &machine,
+                                machine,
                                 scheduler.name(),
                                 outcome,
-                                ReportOptions { timing },
-                            ));
-                            out.push('\n');
-                        }
-                        Emit::Dot => unreachable!("handled above"),
-                    }
-                    if do_certify {
-                        let cert = certify(ddg, &machine, &outcome.schedule);
-                        match emit {
+                                timing,
+                            ),
                             Emit::Json => {
-                                out.push_str(&cert.to_json());
+                                out.push_str(&report_line(
+                                    ddg,
+                                    machine,
+                                    scheduler.name(),
+                                    outcome,
+                                    ReportOptions { timing },
+                                ));
                                 out.push('\n');
                             }
-                            _ => {
-                                if cert.passed() {
-                                    let _ = writeln!(
-                                        out,
-                                        "certified: loop `{}` x {} (II={}, {} checks)",
-                                        ddg.name(),
-                                        scheduler.name(),
-                                        cert.ii,
-                                        cert.checks.len()
-                                    );
-                                } else {
-                                    for d in &cert.diagnostics {
-                                        let _ = writeln!(out, "error[{}]: {}", d.code, d.message);
+                            Emit::Dot => unreachable!("handled above"),
+                        }
+                        if do_certify {
+                            let cert = certify(ddg, machine, &outcome.schedule);
+                            match emit {
+                                Emit::Json => {
+                                    out.push_str(&cert.to_json());
+                                    out.push('\n');
+                                }
+                                _ => {
+                                    if cert.passed() {
+                                        let _ = writeln!(
+                                            out,
+                                            "certified: loop `{}` x {} (II={}, {} checks)",
+                                            ddg.name(),
+                                            scheduler.name(),
+                                            cert.ii,
+                                            cert.checks.len()
+                                        );
+                                    } else {
+                                        for d in &cert.diagnostics {
+                                            let _ =
+                                                writeln!(out, "error[{}]: {}", d.code, d.message);
+                                        }
                                     }
                                 }
                             }
-                        }
-                        if !cert.passed() {
-                            failures += 1;
+                            if !cert.passed() {
+                                failures += 1;
+                            }
                         }
                     }
-                }
-                Err(e) => {
-                    failures += 1;
-                    let _ = writeln!(
-                        out,
-                        "error: scheduler `{}` failed on loop `{}`: {e}",
-                        scheduler.name(),
-                        ddg.name()
-                    );
+                    Err(e) => {
+                        failures += 1;
+                        let _ = writeln!(
+                            out,
+                            "error: scheduler `{}` failed on loop `{}`: {e}",
+                            scheduler.name(),
+                            ddg.name()
+                        );
+                    }
                 }
             }
         }
@@ -303,7 +318,7 @@ fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
     if failures > 0 {
         return Err(CliError::data(format!(
             "{failures} of {} schedule(s) failed:\n{out}",
-            loops.len() * scheduler_refs.len()
+            loops.len() * scheduler_refs.len() * machines.len()
         )));
     }
     Ok(out)
@@ -348,7 +363,10 @@ fn cmd_lint(args: &[String], stdin: &str) -> Result<String, CliError> {
         ));
     }
     let machine = match &machine_arg {
-        Some(name) => Some(resolve_machine(name).map_err(CliError::data)?),
+        Some(name) => Some(
+            resolve_machine(name, MachineFiles::Allow)
+                .map_err(|e| CliError::data(e.to_string()))?,
+        ),
         None => None,
     };
 
@@ -545,7 +563,8 @@ pub fn serve_streaming(args: &[String]) -> Result<(), CliError> {
 fn cmd_machine(args: &[String]) -> Result<String, CliError> {
     match args {
         [name] => {
-            let machine = resolve_machine(name).map_err(CliError::data)?;
+            let machine = resolve_machine(name, MachineFiles::Allow)
+                .map_err(|e| CliError::data(e.to_string()))?;
             Ok(write_machine(&machine))
         }
         _ => Err(CliError::usage(
@@ -635,6 +654,37 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn schedule_machine_list_emits_one_result_per_machine() {
+        let input = "loop l\nnode a load latency=1\nend\n";
+        let out = run(
+            &args(&[
+                "schedule",
+                "-",
+                "--machine",
+                "govindarajan, perfect-club",
+                "--emit",
+                "json",
+            ]),
+            input,
+        )
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].contains("\"machine\":\"govindarajan-4fu\""));
+        assert!(lines[1].contains("\"machine\":\"perfect-club-8fu\""));
+        let err = run(
+            &args(&["schedule", "-", "--machine", "govindarajan,nope"]),
+            input,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(
+            err.message.contains("`nope` is not a machine preset"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use hrms_repro::prelude::*;
 #[test]
 fn figure7_preordering_matches_the_paper() {
     let ddg = motivating::figure7();
-    let order = hrms_repro::hrms::pre_order(&ddg).order;
+    let order = hrms_repro::hrms::pre_order(&hrms_repro::ddg::LoopAnalysis::analyze(&ddg)).order;
     let names: Vec<&str> = order.iter().map(|&n| ddg.node(n).name()).collect();
     assert_eq!(
         names,

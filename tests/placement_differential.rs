@@ -56,7 +56,7 @@ fn merged(a: &Ddg, b: &Ddg) -> Ddg {
 /// the outcome at every II from the MII up to (and including) the first one
 /// that schedules. Returns whether any II succeeded.
 fn check_order(g: &Ddg, machine: &Machine, la: &LoopAnalysis<'_>, order: &[NodeId]) -> bool {
-    let Ok(mii) = MiiInfo::compute_with(g, machine, la) else {
+    let Ok(mii) = MiiInfo::compute(machine, la) else {
         return false; // invalid loop bodies are rejected identically upstream
     };
     // Generous cap: every reference/generated loop schedules well before it.
@@ -136,7 +136,7 @@ fn full_scheduler_matches_a_reference_driven_escalation() {
     for g in reference24::all() {
         let outcome = HrmsScheduler::new().schedule_loop(&g, &m).unwrap();
         let order = HrmsScheduler::new().pre_order(&g).order;
-        let mii = MiiInfo::compute(&g, &m).unwrap();
+        let mii = MiiInfo::compute(&m, &LoopAnalysis::analyze(&g)).unwrap();
         let mut reference = None;
         for ii in mii.mii()..=outcome.metrics.ii {
             reference = schedule_at_ii_reference(&g, &m, &order, ii);

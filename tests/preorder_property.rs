@@ -88,7 +88,7 @@ fn check(g: &Ddg, options: &PreOrderOptions) -> PreOrdering {
 /// (so suites can assert how much of their corpus it covered without
 /// re-running the circuit enumeration).
 fn check_counting_comparisons(g: &Ddg, options: &PreOrderOptions) -> (PreOrdering, bool) {
-    let dense = pre_order_with(g, options);
+    let dense = pre_order_with(&LoopAnalysis::analyze(g), options);
     let compared = is_provably_identical_regime(g);
     if compared {
         let legacy = pre_order_legacy_with(g, options);
@@ -202,7 +202,7 @@ fn recurrence_heavy_suite_holds_the_invariants() {
     // only the dense path (SCC-derived recurrence groups) runs here, and
     // every promoted ordering invariant must hold on it.
     for g in synthetic::recurrence_heavy_suite() {
-        let p = pre_order_with(&g, &PreOrderOptions::default());
+        let p = pre_order_with(&LoopAnalysis::analyze(&g), &PreOrderOptions::default());
         assert!(!p.truncated, "the enumeration-free path never truncates");
         assert!(p.recurrence_subgraphs > 0, "`{}`", g.name());
         check_invariants(&g, &p);
@@ -296,7 +296,7 @@ fn ordering_is_stable_across_repeated_runs() {
     let run = || -> Vec<PreOrdering> {
         reference24::all()
             .iter()
-            .map(|g| pre_order_with(g, &PreOrderOptions::default()))
+            .map(|g| pre_order_with(&LoopAnalysis::analyze(g), &PreOrderOptions::default()))
             .collect()
     };
     let deduped: HashSet<Vec<Vec<NodeId>>> = [fingerprint(&run()), fingerprint(&run())]

@@ -8,6 +8,7 @@ use std::collections::HashSet;
 
 use proptest::prelude::*;
 
+use hrms_repro::ddg::LoopAnalysis;
 use hrms_repro::hrms::{pre_order, preorder::backward_edges};
 use hrms_repro::prelude::*;
 use hrms_repro::workloads::GeneratorConfig;
@@ -40,7 +41,7 @@ proptest! {
         recurrences in any::<bool>(),
     ) {
         let ddg = generated_loop(seed, size, recurrences);
-        let preorder = pre_order(&ddg);
+        let preorder = pre_order(&LoopAnalysis::analyze(&ddg));
         let order = &preorder.order;
         let mut sorted = order.clone();
         sorted.sort();
@@ -79,7 +80,7 @@ proptest! {
     ) {
         let ddg = generated_loop(seed, size, true);
         let dropped = backward_edges(&ddg);
-        let order = pre_order(&ddg).order;
+        let order = pre_order(&LoopAnalysis::analyze(&ddg)).order;
         let mut placed: HashSet<NodeId> = HashSet::new();
         for &n in &order {
             let mut preds_in = false;
@@ -219,7 +220,7 @@ proptest! {
     ) {
         let ddg = generated_loop(seed, size, true);
         let machine = presets::perfect_club();
-        let mii = MiiInfo::compute(&ddg, &machine).unwrap();
+        let mii = MiiInfo::compute(&machine, &LoopAnalysis::analyze(&ddg)).unwrap();
         let info = hrms_repro::ddg::RecurrenceInfo::analyze(&ddg);
         if !info.truncated {
             prop_assert_eq!(u64::from(mii.rec_mii), info.rec_mii_lower_bound());

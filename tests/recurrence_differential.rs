@@ -103,7 +103,7 @@ fn assert_exact_and_order_identical(g: &Ddg) -> CrossCheckReport {
         "`{}`: coarsening left over: {report:?}",
         g.name()
     );
-    let dense = pre_order(g);
+    let dense = pre_order(&hrms_repro::ddg::LoopAnalysis::analyze(g));
     let legacy = pre_order_legacy(g);
     assert!(!legacy.truncated, "`{}`: legacy budget hit", g.name());
     assert_eq!(
@@ -391,7 +391,7 @@ fn recurrence_heavy_suite_needs_no_budget_while_the_enumeration_truncates() {
         );
 
         // And the pre-ordering built on the groups is a valid permutation.
-        let p = pre_order(&g);
+        let p = pre_order(&hrms_repro::ddg::LoopAnalysis::analyze(&g));
         assert!(!p.truncated);
         let mut sorted = p.order.clone();
         sorted.sort();
@@ -436,7 +436,7 @@ fn legacy_preordering_surfaces_enumeration_truncation() {
     let g = bld.build().unwrap();
     let legacy = pre_order_legacy(&g);
     assert!(legacy.truncated, "K9 has ~125k elementary circuits");
-    let dense = pre_order(&g);
+    let dense = pre_order(&hrms_repro::ddg::LoopAnalysis::analyze(&g));
     assert!(!dense.truncated);
     assert_eq!(dense.order.len(), g.num_nodes());
 

@@ -124,7 +124,8 @@ fn spill_scheduling_respects_budgets_across_schedulers() {
 #[test]
 fn preordering_covers_every_node_exactly_once_on_all_workloads() {
     for ddg in workload_sample() {
-        let order = hrms_repro::hrms::pre_order(&ddg).order;
+        let order =
+            hrms_repro::hrms::pre_order(&hrms_repro::ddg::LoopAnalysis::analyze(&ddg)).order;
         let mut sorted: Vec<NodeId> = order.clone();
         sorted.sort();
         sorted.dedup();

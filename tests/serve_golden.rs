@@ -7,7 +7,9 @@
 //! `tests/golden/serve_smoke.txt`. The script walks the whole protocol:
 //! a cache-hitting duplicate batch, a non-default scheduler and machine,
 //! a per-cell scheduling failure, an unparsable loop entry with span
-//! diagnostics, an unknown verb, `stats`, and `shutdown`. Timing fields
+//! diagnostics, an unknown verb, a multi-machine batch (one loop ×
+//! three presets, hitting the cache for the machine it was already
+//! scheduled on), `stats`, and `shutdown`. Timing fields
 //! and contained-panic records are deliberately absent — they carry
 //! wall-clock values and source line numbers, which would churn the
 //! golden file.

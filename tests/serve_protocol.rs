@@ -343,6 +343,94 @@ fn stats_requests_expose_the_service_counters() {
 }
 
 #[test]
+fn multi_machine_requests_stream_loop_major_cells() {
+    let mut service = Service::default();
+    let entries: Vec<String> = [loop_text("alpha"), loop_text("beta")]
+        .iter()
+        .map(|l| quoted(l))
+        .collect();
+    let input = format!(
+        "{{\"req\":\"schedule\",\"id\":1,\"machines\":[\"govindarajan\",\"perfect-club\",\
+         \"general-purpose\"],\"loops\":[{}]}}\n",
+        entries.join(",")
+    );
+    let (out, _) = service.process(&input);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 7, "2 loops x 3 machines + done:\n{out}");
+    let expected_machines = ["govindarajan-4fu", "perfect-club-8fu", "general-4xL2"];
+    for (i, line) in lines[..6].iter().enumerate() {
+        let v = fields(line);
+        assert_eq!(str_field(&v, "type"), "result");
+        assert_eq!(num_field(&v, "index"), i as i64);
+        assert_eq!(str_field(&v, "loop"), ["alpha", "beta"][i / 3]);
+        assert_eq!(str_field(&v, "machine"), expected_machines[i % 3]);
+    }
+    let done = fields(lines[6]);
+    assert_eq!(num_field(&done, "results"), 6);
+    assert_eq!(num_field(&done, "errors"), 0);
+}
+
+#[test]
+fn multi_machine_requests_pay_one_analysis_per_loop_and_show_in_stats() {
+    // A single inline worker keeps the scheduling on this thread, so the
+    // thread-local instrumentation counters see every analysis run.
+    let mut service = Service::new(&ServeConfig {
+        workers: Some(1),
+        ..ServeConfig::default()
+    });
+    let entries: Vec<String> = [loop_text("alpha"), loop_text("beta")]
+        .iter()
+        .map(|l| quoted(l))
+        .collect();
+    let input = format!(
+        "{{\"req\":\"schedule\",\"id\":1,\"machines\":[\"govindarajan\",\"perfect-club\",\
+         \"general-purpose\"],\"loops\":[{}]}}\n{{\"req\":\"stats\",\"id\":2}}\n",
+        entries.join(",")
+    );
+    hrms_repro::ddg::instrument::reset();
+    let (out, _) = service.process(&input);
+    // The differential verify features run extra analyses that move the
+    // counters, so the exact pin only holds in the default build.
+    if cfg!(not(any(
+        feature = "verify-dense",
+        feature = "verify-recurrence"
+    ))) {
+        assert_eq!(
+            hrms_repro::ddg::instrument::tarjan_runs(),
+            2,
+            "one SCC analysis per loop, shared across the three machines"
+        );
+    }
+    let stats = fields(out.lines().last().unwrap());
+    assert_eq!(num_field(&stats, "misses"), 6, "every cell is distinct");
+    assert_eq!(num_field(&stats, "cores"), 2, "two distinct loop cores");
+    assert_eq!(
+        num_field(&stats, "core_machine_keys"),
+        6,
+        "each core fans out to three machine keys"
+    );
+}
+
+#[test]
+fn giving_machine_and_machines_together_is_rejected() {
+    let mut service = Service::default();
+    let input = format!(
+        "{{\"req\":\"schedule\",\"id\":9,\"machine\":\"govindarajan\",\
+         \"machines\":[\"perfect-club\"],\"loops\":[{}]}}\n",
+        quoted(&loop_text("both"))
+    );
+    let (out, _) = service.process(&input);
+    let v = fields(out.lines().next().unwrap());
+    assert_eq!(str_field(&v, "type"), "error");
+    assert_eq!(str_field(&v, "stage"), "request");
+    assert!(
+        str_field(&v, "error").contains("not both"),
+        "got: {}",
+        str_field(&v, "error")
+    );
+}
+
+#[test]
 fn shutdown_drains_answers_bye_and_stops_reading() {
     let mut service = Service::default();
     let input = [
