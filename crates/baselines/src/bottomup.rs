@@ -12,9 +12,11 @@ use std::sync::Arc;
 
 use hrms_ddg::{Ddg, LoopCore};
 use hrms_machine::Machine;
-use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome, SchedulerConfig};
+use hrms_modsched::{ModuloScheduler, Perturbation, SchedError, ScheduleOutcome, SchedulerConfig};
 
-use crate::common::{bottomup_order, escalate_ii_with_core, schedule_directional_at_ii, Direction};
+use crate::common::{
+    boost_order, bottomup_order, escalate_ii_with_core, schedule_directional_at_ii, Direction,
+};
 
 /// Bottom-Up (ALAP) modulo scheduler.
 #[derive(Debug, Clone, Default)]
@@ -46,6 +48,20 @@ impl ModuloScheduler for BottomUpScheduler {
         core: &Arc<LoopCore>,
     ) -> Result<ScheduleOutcome, SchedError> {
         let order = bottomup_order(ddg);
+        escalate_ii_with_core(ddg, core, machine, &self.config, |ii, _, la, _starts| {
+            schedule_directional_at_ii(la, machine, &order, ii, Direction::BottomUp)
+        })
+    }
+
+    fn schedule_loop_perturbed(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+        perturbation: &Perturbation,
+    ) -> Result<ScheduleOutcome, SchedError> {
+        let mut order = bottomup_order(ddg);
+        boost_order(&mut order, perturbation);
         escalate_ii_with_core(ddg, core, machine, &self.config, |ii, _, la, _starts| {
             schedule_directional_at_ii(la, machine, &order, ii, Direction::BottomUp)
         })

@@ -7,7 +7,7 @@ use std::time::Instant;
 use hrms_ddg::{Ddg, LoopAnalysis, LoopCore, NodeId, PerIiStarts, TopoLevels};
 use hrms_machine::Machine;
 use hrms_modsched::{
-    MiiInfo, PartialSchedule, SchedError, Schedule, ScheduleOutcome, SchedulerConfig,
+    MiiInfo, PartialSchedule, Perturbation, SchedError, Schedule, ScheduleOutcome, SchedulerConfig,
 };
 
 /// Direction of a one-pass list scheduler.
@@ -58,6 +58,16 @@ pub fn bottomup_order(ddg: &Ddg) -> Vec<NodeId> {
         )
     });
     order
+}
+
+/// The priority-perturbation hook of the directional baselines: re-ranks an
+/// existing priority order under a feedback [`Perturbation`] by a *stable*
+/// sort on decreasing boost. Boosted (critical) nodes move to the front of
+/// the list order while every unboosted node keeps its relative position,
+/// so the identity perturbation leaves the order untouched — the guarantee
+/// `feedback`-wrapped baselines rely on for their attempt-0 baseline.
+pub fn boost_order(order: &mut [NodeId], perturbation: &Perturbation) {
+    order.sort_by_key(|&n| std::cmp::Reverse(perturbation.boost_of(n)));
 }
 
 /// A copy of `ddg` with every edge removed — used only as a fallback when the

@@ -13,9 +13,11 @@ use std::sync::Arc;
 
 use hrms_ddg::{Ddg, LoopCore};
 use hrms_machine::Machine;
-use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome, SchedulerConfig};
+use hrms_modsched::{ModuloScheduler, Perturbation, SchedError, ScheduleOutcome, SchedulerConfig};
 
-use crate::common::{escalate_ii_with_core, schedule_directional_at_ii, topdown_order, Direction};
+use crate::common::{
+    boost_order, escalate_ii_with_core, schedule_directional_at_ii, topdown_order, Direction,
+};
 
 /// Top-Down (ASAP) modulo scheduler.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +49,20 @@ impl ModuloScheduler for TopDownScheduler {
         core: &Arc<LoopCore>,
     ) -> Result<ScheduleOutcome, SchedError> {
         let order = topdown_order(ddg);
+        escalate_ii_with_core(ddg, core, machine, &self.config, |ii, _, la, _starts| {
+            schedule_directional_at_ii(la, machine, &order, ii, Direction::TopDown)
+        })
+    }
+
+    fn schedule_loop_perturbed(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+        perturbation: &Perturbation,
+    ) -> Result<ScheduleOutcome, SchedError> {
+        let mut order = topdown_order(ddg);
+        boost_order(&mut order, perturbation);
         escalate_ii_with_core(ddg, core, machine, &self.config, |ii, _, la, _starts| {
             schedule_directional_at_ii(la, machine, &order, ii, Direction::TopDown)
         })

@@ -1,0 +1,55 @@
+//! Feedback-rescheduling benchmark: one-shot HRMS against the
+//! feedback-guided iterative rescheduler on the register-pressure suite.
+//!
+//! The suite's loops force dozens of overlapping lifetimes through the
+//! late loop body, so one-shot schedules exceed the paper machines'
+//! 32-register files and the feedback loop has real work to do: evaluate
+//! the spill count, extract the pressure-critical subgraph, perturb the
+//! pre-ordering and reschedule to a bounded fixpoint. The measured ratio
+//! is the price of the feedback iterations (attempts × schedule cost plus
+//! the spill evaluations); the property tier (`tests/feedback_property.rs`)
+//! separately pins that the quality never regresses. CI runs this bench
+//! with `-- --test` as a single-sample smoke check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrms_core::HrmsScheduler;
+use hrms_machine::presets;
+use hrms_modsched::{FeedbackConfig, IterativeRescheduler, ModuloScheduler};
+use hrms_regalloc::BudgetSpillEvaluator;
+use hrms_workloads::synthetic;
+
+/// The feedback-wrapped HRMS scheduler exactly as the registry builds it
+/// (regalloc-backed spill evaluator wired in).
+fn feedback_hrms() -> IterativeRescheduler {
+    IterativeRescheduler::new(Box::new(HrmsScheduler::new()), FeedbackConfig::default())
+        .with_evaluator(Box::new(BudgetSpillEvaluator))
+}
+
+fn bench_one_shot_vs_feedback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback");
+    group.sample_size(10);
+    let machine = presets::perfect_club();
+    let one_shot = HrmsScheduler::new();
+    let feedback = feedback_hrms();
+    for ddg in synthetic::register_pressure_suite() {
+        let name = format!("{}x{}", ddg.num_nodes(), ddg.name());
+        group.bench_with_input(BenchmarkId::new("one_shot", &name), &ddg, |b, ddg| {
+            b.iter(|| {
+                one_shot
+                    .schedule_loop(std::hint::black_box(ddg), &machine)
+                    .expect("suite loops schedule")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("feedback", &name), &ddg, |b, ddg| {
+            b.iter(|| {
+                feedback
+                    .schedule_loop(std::hint::black_box(ddg), &machine)
+                    .expect("suite loops schedule")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_shot_vs_feedback);
+criterion_main!(benches);

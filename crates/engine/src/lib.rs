@@ -618,6 +618,56 @@ mod tests {
     }
 
     #[test]
+    fn feedback_wrapped_panics_are_contained_per_cell() {
+        use hrms_modsched::{FeedbackConfig, IterativeRescheduler};
+
+        // The iterative rescheduler adds no containment of its own: a panic
+        // in the wrapped scheduler unwinds straight through `feedback` and
+        // must be caught at the engine's cell boundary, exactly as for a
+        // bare scheduler. This is what keeps `feedback:<anything>` requests
+        // (including the hidden chaos scheduler) safe in the service.
+        struct PanickingScheduler;
+        impl ModuloScheduler for PanickingScheduler {
+            fn name(&self) -> &str {
+                "panicker"
+            }
+            fn schedule_loop(
+                &self,
+                ddg: &Ddg,
+                machine: &Machine,
+            ) -> Result<ScheduleOutcome, SchedError> {
+                self.schedule_loop_with_core(ddg, machine, &Arc::new(LoopCore::new()))
+            }
+            fn schedule_loop_with_core(
+                &self,
+                ddg: &Ddg,
+                _machine: &Machine,
+                _core: &Arc<LoopCore>,
+            ) -> Result<ScheduleOutcome, SchedError> {
+                panic!("induced failure on `{}`", ddg.name())
+            }
+        }
+
+        let wrapped =
+            IterativeRescheduler::new(Box::new(PanickingScheduler), FeedbackConfig::default());
+        let loops = LoopGenerator::with_seed(9).generate(3);
+        let machine = presets::govindarajan();
+        let results =
+            BatchEngine::with_workers(2).schedule_batch_contained(&wrapped, &loops, &machine);
+        assert_eq!(results.len(), loops.len());
+        for (cell, ddg) in results.iter().zip(&loops) {
+            match cell {
+                Err(SchedError::Internal { what }) => {
+                    assert!(what.contains("panicker+feedback"), "{what}");
+                    assert!(what.contains("induced failure"), "{what}");
+                    assert!(what.contains(&format!("`{}`", ddg.name())), "{what}");
+                }
+                other => panic!("expected Internal error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn dyn_schedulers_are_accepted() {
         let loops = LoopGenerator::with_seed(5).generate(6);
         let scheduler: Box<dyn ModuloScheduler + Sync> = Box::new(HrmsScheduler::new());

@@ -6,13 +6,13 @@ use std::time::{Duration, Instant};
 use hrms_ddg::{Ddg, LoopAnalysis, NodeId, PlacementCsr};
 use hrms_machine::Machine;
 use hrms_modsched::{
-    MiiInfo, ModuloScheduler, PartialSchedule, SchedError, Schedule, ScheduleOutcome,
-    SchedulerConfig,
+    MiiInfo, ModuloScheduler, PartialSchedule, Perturbation, SchedError, Schedule, ScheduleOutcome,
+    SchedulerConfig, StartHint,
 };
 
 use hrms_ddg::LoopCore;
 
-use crate::preorder::{pre_order_with, PreOrderOptions, PreOrdering};
+use crate::preorder::{pre_order_with, PreOrderOptions, PreOrdering, StartNodePolicy};
 
 /// How the node order handed to the scheduling step is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -197,6 +197,31 @@ impl ModuloScheduler for HrmsScheduler {
             }
             ii += 1;
         }
+    }
+
+    /// HRMS's ordering is derived by hypernode reduction rather than a
+    /// priority sort, so the perturbation hook maps the [`StartHint`] onto
+    /// the pre-ordering's [`StartNodePolicy`]: changing where the hypernode
+    /// starts growing reorders the whole traversal around the hinted node.
+    /// Per-node boosts are ignored (they have no hypernode analogue).
+    fn schedule_loop_perturbed(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+        perturbation: &Perturbation,
+    ) -> Result<ScheduleOutcome, SchedError> {
+        let mut options = self.options.clone();
+        match perturbation.start {
+            StartHint::Default => {}
+            StartHint::Last => {
+                options.preorder.start_node = StartNodePolicy::LastInProgramOrder;
+            }
+            StartHint::Node(node) => {
+                options.preorder.start_node = StartNodePolicy::Fixed(node);
+            }
+        }
+        HrmsScheduler::with_options(options).schedule_loop_with_core(ddg, machine, core)
     }
 }
 

@@ -20,6 +20,8 @@
 //!   ([`lifetime`]),
 //! * an independent schedule validator used by the test-suite
 //!   ([`validate`]),
+//! * feedback-guided iterative rescheduling around any scheduler
+//!   ([`feedback`]),
 //! * the [`ModuloScheduler`] trait implemented by HRMS and all baselines
 //!   ([`scheduler`]).
 
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod feedback;
 pub mod kernel;
 pub mod lifetime;
 pub mod mii;
@@ -38,6 +41,10 @@ pub mod scheduler;
 pub mod validate;
 
 pub use error::SchedError;
+pub use feedback::{
+    FeedbackConfig, FeedbackIteration, FeedbackTrace, IterativeRescheduler, Perturbation,
+    RegisterBudget, SpillEvaluator, SpillSignals, StartHint,
+};
 pub use kernel::Kernel;
 pub use lifetime::{LifetimeAnalysis, ValueLifetime};
 pub use mii::{dependence_latency, MiiInfo};

@@ -109,6 +109,10 @@ pub fn report_line(
     if outcome.recurrence_truncated {
         out.push_str(",\"recurrence_truncated\":true");
     }
+    if let Some(trace) = &outcome.feedback {
+        out.push_str(",\"feedback\":");
+        out.push_str(&trace.to_json());
+    }
     out.push_str(",\"kernel\":[");
     let kernel = outcome.schedule.kernel();
     for (r, row) in kernel.rows().enumerate() {

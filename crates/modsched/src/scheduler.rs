@@ -8,6 +8,7 @@ use hrms_ddg::{Ddg, LoopCore};
 use hrms_machine::Machine;
 
 use crate::error::SchedError;
+use crate::feedback::{FeedbackTrace, Perturbation};
 use crate::lifetime::LifetimeAnalysis;
 use crate::mii::MiiInfo;
 use crate::schedule::Schedule;
@@ -135,6 +136,11 @@ pub struct ScheduleOutcome {
     /// flag results whose pre-ordering ran on partial recurrence
     /// information instead of hiding the degradation.
     pub recurrence_truncated: bool,
+    /// Machine-readable record of the feedback-guided rescheduling run that
+    /// produced this schedule; `None` for one-shot schedulers. Attached by
+    /// [`crate::feedback::IterativeRescheduler`] and rendered into JSON
+    /// reports.
+    pub feedback: Option<FeedbackTrace>,
 }
 
 impl ScheduleOutcome {
@@ -156,6 +162,7 @@ impl ScheduleOutcome {
             elapsed,
             ordering_time,
             recurrence_truncated: false,
+            feedback: None,
         }
     }
 
@@ -164,6 +171,14 @@ impl ScheduleOutcome {
     #[must_use]
     pub fn with_recurrence_truncated(mut self, truncated: bool) -> Self {
         self.recurrence_truncated = truncated;
+        self
+    }
+
+    /// Attaches the trace of the feedback run that produced this schedule
+    /// (see [`ScheduleOutcome::feedback`]).
+    #[must_use]
+    pub fn with_feedback(mut self, trace: FeedbackTrace) -> Self {
+        self.feedback = Some(trace);
         self
     }
 }
@@ -208,6 +223,30 @@ pub trait ModuloScheduler {
     ) -> Result<ScheduleOutcome, SchedError> {
         let _ = core;
         self.schedule_loop(ddg, machine)
+    }
+
+    /// Schedules one loop under a priority [`Perturbation`] — the hook the
+    /// feedback-guided [`crate::feedback::IterativeRescheduler`] drives.
+    ///
+    /// Schedulers with a perturbable ordering override this: HRMS honours
+    /// the start-node hint, the directional baselines honour the per-node
+    /// boosts. The default ignores the perturbation and schedules normally,
+    /// so wrapping *any* scheduler in the feedback loop is well-defined
+    /// (the loop then degenerates to returning the one-shot schedule).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedError`] when the loop cannot be scheduled (malformed
+    /// graph, or the II/search budget was exhausted).
+    fn schedule_loop_perturbed(
+        &self,
+        ddg: &Ddg,
+        machine: &Machine,
+        core: &Arc<LoopCore>,
+        perturbation: &Perturbation,
+    ) -> Result<ScheduleOutcome, SchedError> {
+        let _ = perturbation;
+        self.schedule_loop_with_core(ddg, machine, core)
     }
 }
 

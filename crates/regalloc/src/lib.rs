@@ -14,16 +14,20 @@
 //! * [`rotating`] — allocation of loop-variant lifetimes onto a rotating
 //!   register file using the wands-only end-fit strategy with adjacency
 //!   ordering (Rau et al.), which the paper's footnote 4 cites as achieving
-//!   `MaxLive + 1` registers or better in practice.
+//!   `MaxLive + 1` registers or better in practice,
+//! * [`feedback`] — the allocator-backed spill evaluator plugged into
+//!   `hrms_modsched::feedback`'s iterative rescheduler.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod feedback;
 pub mod mve;
 pub mod pressure;
 pub mod rotating;
 pub mod spill;
 
+pub use feedback::BudgetSpillEvaluator;
 pub use mve::{mve_registers, mve_unroll_factor, ExpandedKernel};
 pub use pressure::{CumulativeDistribution, PressureKind, RegisterPressure};
 pub use rotating::{allocate_rotating, RotatingAllocation};

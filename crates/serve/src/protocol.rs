@@ -14,7 +14,7 @@
 use std::fmt::Write as _;
 
 use hrms_engine::CacheStats;
-use hrms_modsched::push_json_str;
+use hrms_modsched::{push_json_str, FeedbackConfig, RegisterBudget};
 
 use crate::json::{self, Value};
 
@@ -67,6 +67,13 @@ pub struct ScheduleRequest {
     /// Include wall-clock timing fields; implies a cache bypass (cached
     /// records deliberately carry no timing).
     pub timing: bool,
+    /// Feedback-guided rescheduling options (`"feedback":true` or
+    /// `"feedback":{...}`): the named scheduler is wrapped in the
+    /// iterative rescheduler under this configuration, and every result
+    /// record embeds the per-iteration [`hrms_modsched::FeedbackTrace`].
+    /// The configuration is part of the scheduler's display name, so cache
+    /// keys distinguish feedback configurations.
+    pub feedback: Option<FeedbackConfig>,
 }
 
 /// A decoded request line.
@@ -129,6 +136,86 @@ fn bool_field(obj: &Value, id: &Value, key: &str, default: bool) -> Result<bool,
         Some(_) => Err(RequestError::new(
             id.clone(),
             format!("`{key}` must be a boolean"),
+        )),
+    }
+}
+
+/// Caps on the per-request feedback knobs: a remote client must not be
+/// able to demand unbounded rescheduling work out of one request.
+const MAX_FEEDBACK_ITERATIONS: usize = 32;
+const MAX_FEEDBACK_SPILL_ROUNDS: usize = 64;
+
+/// Parses a non-negative integer field value (the JSON layer keeps numbers
+/// as raw tokens, so `7.5` and `-1` simply fail to parse as `u64`).
+fn count_value(value: &Value) -> Option<u64> {
+    match value {
+        Value::Num(token) => token.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Decodes the `feedback` field of a schedule request: absent or `false`
+/// disables feedback, `true` enables it with defaults, an object overrides
+/// `registers` (number, or `null` for no register budget), `iterations`
+/// and `spill_rounds` individually.
+fn feedback_field(obj: &Value, id: &Value) -> Result<Option<FeedbackConfig>, RequestError> {
+    let value = match obj.get("feedback") {
+        None => return Ok(None),
+        Some(v) => v,
+    };
+    match value {
+        Value::Bool(false) => Ok(None),
+        Value::Bool(true) => Ok(Some(FeedbackConfig::default())),
+        Value::Obj(_) => {
+            let mut config = FeedbackConfig::default();
+            match value.get("registers") {
+                None => {}
+                Some(Value::Null) => config.budget = None,
+                Some(v) => match count_value(v) {
+                    Some(registers) => config.budget = Some(RegisterBudget { registers }),
+                    None => {
+                        return Err(RequestError::new(
+                            id.clone(),
+                            "`feedback.registers` must be a non-negative integer or null",
+                        ));
+                    }
+                },
+            }
+            if let Some(v) = value.get("iterations") {
+                match count_value(v) {
+                    Some(n) if n >= 1 && n <= MAX_FEEDBACK_ITERATIONS as u64 => {
+                        config.max_iterations = n as usize;
+                    }
+                    _ => {
+                        return Err(RequestError::new(
+                            id.clone(),
+                            format!(
+                                "`feedback.iterations` must be an integer in 1..={MAX_FEEDBACK_ITERATIONS}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Some(v) = value.get("spill_rounds") {
+                match count_value(v) {
+                    Some(n) if n >= 1 && n <= MAX_FEEDBACK_SPILL_ROUNDS as u64 => {
+                        config.max_spill_rounds = n as usize;
+                    }
+                    _ => {
+                        return Err(RequestError::new(
+                            id.clone(),
+                            format!(
+                                "`feedback.spill_rounds` must be an integer in 1..={MAX_FEEDBACK_SPILL_ROUNDS}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            Ok(Some(config))
+        }
+        _ => Err(RequestError::new(
+            id.clone(),
+            "`feedback` must be a boolean or an object",
         )),
     }
 }
@@ -203,6 +290,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             };
             let cache = bool_field(&value, &id, "cache", true)?;
             let timing = bool_field(&value, &id, "timing", false)?;
+            let feedback = feedback_field(&value, &id)?;
             let loops = match value.get("loops") {
                 Some(Value::Arr(items)) if !items.is_empty() => {
                     let mut texts = Vec::with_capacity(items.len());
@@ -236,6 +324,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 loops,
                 cache,
                 timing,
+                feedback,
             }))
         }
         other => Err(RequestError::new(
@@ -412,6 +501,65 @@ mod tests {
         assert!(e.message.contains("loops[0]"), "{}", e.message);
         let e = parse_request(r#"{"req":"schedule","loops":["x"],"cache":"yes"}"#).unwrap_err();
         assert!(e.message.contains("`cache` must be"), "{}", e.message);
+    }
+
+    #[test]
+    fn feedback_options_parse_with_defaults_and_overrides() {
+        let r = parse_request(r#"{"req":"schedule","loops":["x"]}"#).unwrap();
+        match r {
+            Request::Schedule(s) => assert_eq!(s.feedback, None),
+            other => panic!("{other:?}"),
+        }
+        let r = parse_request(r#"{"req":"schedule","loops":["x"],"feedback":true}"#).unwrap();
+        match r {
+            Request::Schedule(s) => assert_eq!(s.feedback, Some(FeedbackConfig::default())),
+            other => panic!("{other:?}"),
+        }
+        let r = parse_request(r#"{"req":"schedule","loops":["x"],"feedback":false}"#).unwrap();
+        match r {
+            Request::Schedule(s) => assert_eq!(s.feedback, None),
+            other => panic!("{other:?}"),
+        }
+        let r = parse_request(
+            r#"{"req":"schedule","loops":["x"],
+                "feedback":{"registers":16,"iterations":4,"spill_rounds":8}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Schedule(s) => {
+                let config = s.feedback.unwrap();
+                assert_eq!(config.budget, Some(RegisterBudget { registers: 16 }));
+                assert_eq!(config.max_iterations, 4);
+                assert_eq!(config.max_spill_rounds, 8);
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = parse_request(r#"{"req":"schedule","loops":["x"],"feedback":{"registers":null}}"#)
+            .unwrap();
+        match r {
+            Request::Schedule(s) => assert_eq!(s.feedback.unwrap().budget, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn feedback_misuses_are_named() {
+        let e = parse_request(r#"{"req":"schedule","loops":["x"],"feedback":7}"#).unwrap_err();
+        assert!(e.message.contains("`feedback` must be"), "{}", e.message);
+        let e = parse_request(r#"{"req":"schedule","loops":["x"],"feedback":{"registers":-1}}"#)
+            .unwrap_err();
+        assert!(e.message.contains("`feedback.registers`"), "{}", e.message);
+        let e = parse_request(r#"{"req":"schedule","loops":["x"],"feedback":{"iterations":0}}"#)
+            .unwrap_err();
+        assert!(e.message.contains("`feedback.iterations`"), "{}", e.message);
+        let e =
+            parse_request(r#"{"req":"schedule","loops":["x"],"feedback":{"spill_rounds":999}}"#)
+                .unwrap_err();
+        assert!(
+            e.message.contains("`feedback.spill_rounds`"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]

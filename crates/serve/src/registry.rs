@@ -17,7 +17,10 @@ use hrms_baselines::{
 use hrms_core::HrmsScheduler;
 use hrms_ddg::Ddg;
 use hrms_machine::{presets, Machine};
-use hrms_modsched::{ModuloScheduler, SchedError, ScheduleOutcome};
+use hrms_modsched::{
+    FeedbackConfig, IterativeRescheduler, ModuloScheduler, SchedError, ScheduleOutcome,
+};
+use hrms_regalloc::BudgetSpillEvaluator;
 
 /// A scheduler that can be shared across the engine's worker threads.
 pub type BoxedScheduler = Box<dyn ModuloScheduler + Sync + Send>;
@@ -56,10 +59,19 @@ impl ModuloScheduler for ChaosScheduler {
 /// Resolves a scheduler by its [`SCHEDULER_SLUGS`] slug (or the hidden
 /// `chaos` fault-injection slug).
 ///
+/// A `feedback:` prefix wraps the named scheduler in the feedback-guided
+/// [`IterativeRescheduler`] under the default [`FeedbackConfig`] with the
+/// register-allocator spill evaluator wired in — `feedback:hrms` is
+/// iteratively rescheduled HRMS. The prefix composes with every slug,
+/// including `chaos` (whose panics stay contained by the engine).
+///
 /// Every scheduler is built with its default configuration — the same
 /// configuration the in-process harnesses use, so CLI and service results
 /// are comparable with library results.
 pub fn scheduler_by_slug(slug: &str) -> Option<BoxedScheduler> {
+    if let Some(inner) = slug.strip_prefix("feedback:") {
+        return feedback_scheduler(inner, FeedbackConfig::default());
+    }
     Some(match slug {
         "hrms" => Box::new(HrmsScheduler::new()),
         "top-down" => Box::new(TopDownScheduler::new()),
@@ -71,6 +83,24 @@ pub fn scheduler_by_slug(slug: &str) -> Option<BoxedScheduler> {
         "chaos" => Box::new(ChaosScheduler),
         _ => return None,
     })
+}
+
+/// Resolves `inner_slug` and wraps it in the feedback-guided rescheduler
+/// under `config` (see [`wrap_feedback`]). `None` when the inner slug is
+/// unknown.
+pub fn feedback_scheduler(inner_slug: &str, config: FeedbackConfig) -> Option<BoxedScheduler> {
+    Some(wrap_feedback(scheduler_by_slug(inner_slug)?, config))
+}
+
+/// Wraps an already-built scheduler in the feedback-guided
+/// [`IterativeRescheduler`] with the register-allocator spill evaluator
+/// ([`BudgetSpillEvaluator`]) injected — the composition point where the
+/// regalloc feedback signal meets the modsched feedback loop (the two
+/// crates cannot depend on each other; this crate depends on both).
+pub fn wrap_feedback(inner: BoxedScheduler, config: FeedbackConfig) -> BoxedScheduler {
+    Box::new(
+        IterativeRescheduler::new(inner, config).with_evaluator(Box::new(BudgetSpillEvaluator)),
+    )
 }
 
 /// All schedulers in [`SCHEDULER_SLUGS`] order.
@@ -256,6 +286,36 @@ mod tests {
         let chaos = scheduler_by_slug("chaos").expect("chaos slug resolves");
         assert_eq!(chaos.name(), "Chaos");
         assert!(!SCHEDULER_SLUGS.contains(&"chaos"));
+    }
+
+    #[test]
+    fn feedback_prefix_wraps_any_slug() {
+        let fb = scheduler_by_slug("feedback:hrms").expect("feedback:hrms resolves");
+        assert_eq!(fb.name(), "HRMS+feedback[r32,i6,s16]");
+        let fb = scheduler_by_slug("feedback:top-down").unwrap();
+        assert!(fb.name().starts_with("Top-Down+feedback["));
+        assert!(scheduler_by_slug("feedback:zzz").is_none());
+        // The hidden chaos slug composes too (panics stay contained by the
+        // engine; tests/serve_protocol.rs drills the full path).
+        assert!(scheduler_by_slug("feedback:chaos").is_some());
+    }
+
+    #[test]
+    fn feedback_config_is_part_of_the_scheduler_name() {
+        let small = feedback_scheduler(
+            "hrms",
+            hrms_modsched::FeedbackConfig {
+                budget: Some(hrms_modsched::RegisterBudget { registers: 16 }),
+                ..hrms_modsched::FeedbackConfig::default()
+            },
+        )
+        .unwrap();
+        let default = scheduler_by_slug("feedback:hrms").unwrap();
+        assert_ne!(
+            small.name(),
+            default.name(),
+            "different configs must produce different cache keys"
+        );
     }
 
     #[test]

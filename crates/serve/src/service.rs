@@ -230,12 +230,21 @@ impl Service {
             RequestError::new(
                 id.clone(),
                 format!(
-                    "unknown scheduler `{}` (known: {})",
+                    "unknown scheduler `{}` (known: {}, or `feedback:<slug>`)",
                     request.scheduler,
                     crate::registry::SCHEDULER_SLUGS.join(", ")
                 ),
             )
         })?;
+        // A `"feedback":{...}` option wraps the named scheduler in the
+        // iterative rescheduler. The wrapper's display name embeds the
+        // feedback configuration, so the cache keys derived from
+        // `scheduler.name()` below keep differently-configured feedback
+        // results apart (and apart from one-shot results).
+        let scheduler = match request.feedback {
+            Some(config) => crate::registry::wrap_feedback(scheduler, config),
+            None => scheduler,
+        };
         let machines = request
             .machines
             .iter()

@@ -99,6 +99,16 @@ pub struct GeneratorConfig {
     /// chain across pairs either. Zero (the default) adds no random
     /// draws, preserving the classic random stream.
     pub interleaved_recurrences: usize,
+    /// Long-lifetime flow edges wired from *distinct* values defined in the
+    /// first two thirds of the body to consumers in the last third, so each
+    /// value stays live across most of the loop and the pressures add up:
+    /// a fanout of `k` forces roughly `min(k, early producers)` concurrent
+    /// lifetimes through the late region, independent of how cleverly the
+    /// scheduler places the producers. This is the regime where a schedule
+    /// can exceed a machine's register file outright and spilling (or
+    /// feedback-guided rescheduling) becomes mandatory. Zero (the default)
+    /// adds no random draws, preserving the classic random stream.
+    pub long_lifetime_fanout: usize,
     /// Maximum dependence distance of loop-carried edges.
     pub max_distance: u32,
     /// Maximum number of loop-invariant values.
@@ -132,6 +142,7 @@ impl Default for GeneratorConfig {
             recurrence_probability: 0.45,
             extra_backward_edges: 0,
             interleaved_recurrences: 0,
+            long_lifetime_fanout: 0,
             max_distance: 3,
             max_invariants: 6,
             iteration_range: (10, 20_000),
@@ -291,6 +302,28 @@ impl LoopGenerator {
             }
             let j = candidates[rng.gen_range(0..candidates.len())];
             wire(&mut b, &mut seen_edges, ids[p], ids[j], DepKind::RegFlow, 0);
+        }
+
+        // Register-pressure extension (see the config field docs): wire up
+        // to `long_lifetime_fanout` *distinct* early-defined values into
+        // consumers in the last third of the body. Distinctness is what
+        // makes the pressure additive — the same value feeding ten late
+        // consumers is still one lifetime, but ten early values each feeding
+        // one late consumer are ten lifetimes that all overlap just before
+        // their consumers issue. Guarded so the zero default adds no random
+        // draws and the classic suites stay byte-identical.
+        if cfg.long_lifetime_fanout > 0 {
+            let late_start = size - size / 3;
+            let late: Vec<usize> = (late_start..size)
+                .filter(|&j| kinds[j] != OpKind::Load)
+                .collect();
+            if !late.is_empty() {
+                let early = (0..late_start).filter(|&i| kinds[i].defines_value());
+                for p in early.take(cfg.long_lifetime_fanout) {
+                    let j = late[rng.gen_range(0..late.len())];
+                    wire(&mut b, &mut seen_edges, ids[p], ids[j], DepKind::RegFlow, 0);
+                }
+            }
         }
 
         // Optionally add loop-carried recurrences: a backward flow edge from

@@ -195,6 +195,55 @@ pub fn interleaved_recurrence_suite() -> Vec<Ddg> {
         .collect()
 }
 
+/// Loop sizes of the register-pressure suite (operations per loop).
+pub const REGISTER_PRESSURE_SIZES: [usize; 4] = [48, 64, 80, 96];
+
+/// Loops generated per entry of [`REGISTER_PRESSURE_SIZES`].
+pub const REGISTER_PRESSURE_LOOPS_PER_SIZE: usize = 3;
+
+/// Generator preset for *register-pressure* loops of exactly `size`
+/// operations: every value defined in the first two thirds of the body is
+/// also consumed in the last third
+/// ([`GeneratorConfig::long_lifetime_fanout`]), so dozens of lifetimes
+/// overlap late in the loop no matter how the producers are placed. The
+/// resulting schedules exceed the 32-register files of the paper's
+/// machines outright — the regime where spilling (or feedback-guided
+/// iterative rescheduling) is mandatory, which is exactly what the
+/// feedback property tier and benchmark measure.
+///
+/// The recurrence probability is kept low so the pre-ordering is free to
+/// react to start-node hints — on recurrence-dominated bodies the ordering
+/// is pinned by the circuits and perturbation has nothing to move.
+pub fn register_pressure_config(size: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        min_ops: size,
+        mean_ops: size as f64,
+        max_ops: size,
+        recurrence_probability: 0.15,
+        long_lifetime_fanout: size,
+        max_distance: 2,
+        max_invariants: 4,
+        iteration_range: (100, 100_000),
+        ..GeneratorConfig::default()
+    }
+}
+
+/// The deterministic register-pressure suite:
+/// [`REGISTER_PRESSURE_LOOPS_PER_SIZE`] loops per entry of
+/// [`REGISTER_PRESSURE_SIZES`], each a pure function of the fixed seed.
+pub fn register_pressure_suite() -> Vec<Ddg> {
+    REGISTER_PRESSURE_SIZES
+        .iter()
+        .flat_map(|&size| {
+            LoopGenerator::new(
+                DEFAULT_SEED ^ 0x9E55_0000 ^ size as u64,
+                register_pressure_config(size),
+            )
+            .generate(REGISTER_PRESSURE_LOOPS_PER_SIZE)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +354,52 @@ mod tests {
         )
         .generate(10);
         assert_eq!(classic, zeroed);
+    }
+
+    #[test]
+    fn long_lifetime_knob_zero_preserves_the_classic_random_stream() {
+        let classic = LoopGenerator::new(77, GeneratorConfig::default()).generate(10);
+        let zeroed = LoopGenerator::new(
+            77,
+            GeneratorConfig {
+                long_lifetime_fanout: 0,
+                ..GeneratorConfig::default()
+            },
+        )
+        .generate(10);
+        assert_eq!(classic, zeroed);
+    }
+
+    #[test]
+    fn register_pressure_suite_is_deterministic_and_exceeds_the_paper_register_file() {
+        use hrms_modsched::LifetimeAnalysis;
+
+        let suite = register_pressure_suite();
+        assert_eq!(suite, register_pressure_suite());
+        assert_eq!(
+            suite.len(),
+            REGISTER_PRESSURE_SIZES.len() * REGISTER_PRESSURE_LOOPS_PER_SIZE
+        );
+        // The defining property of the preset: one-shot HRMS schedules need
+        // more registers than the 32-entry files of the paper's machines on
+        // most of the suite (every loop of the two larger sizes), so a
+        // register budget of 32 genuinely forces spilling or rescheduling.
+        let machine = presets::perfect_club();
+        let scheduler = hrms_core::HrmsScheduler::new();
+        let mut over_budget = 0usize;
+        for g in &suite {
+            let outcome = hrms_modsched::ModuloScheduler::schedule_loop(&scheduler, g, &machine)
+                .unwrap_or_else(|e| panic!("`{}` failed: {e}", g.name()));
+            let pressure = LifetimeAnalysis::analyze(g, &outcome.schedule).max_live();
+            if pressure > 32 {
+                over_budget += 1;
+            }
+        }
+        assert!(
+            over_budget * 2 >= suite.len(),
+            "only {over_budget}/{} loops exceed 32 registers under one-shot HRMS",
+            suite.len()
+        );
     }
 
     #[test]

@@ -11,13 +11,13 @@ use std::fmt::Write as _;
 use hrms_ddg::{dot, parse_loops, textfmt, Ddg};
 use hrms_engine::BatchEngine;
 use hrms_machine::{presets, write_machine, Machine};
-use hrms_modsched::{report_line, ModuloScheduler, ReportOptions, ScheduleOutcome};
+use hrms_modsched::{report_line, FeedbackConfig, ModuloScheduler, ReportOptions, ScheduleOutcome};
 use hrms_serve::{looks_like_dot, looks_like_machine, ServeConfig, Service};
 use hrms_verify::{certify, lint_dot_source, lint_loop_source, lint_machine_source, Diagnostic};
 
 use crate::registry::{
-    all_schedulers, resolve_machine, scheduler_by_slug, BoxedScheduler, MachineFiles,
-    SCHEDULER_SLUGS,
+    all_schedulers, resolve_machine, scheduler_by_slug, wrap_feedback, BoxedScheduler,
+    MachineFiles, SCHEDULER_SLUGS,
 };
 
 /// A CLI failure: a message for stderr and the process exit code.
@@ -67,7 +67,7 @@ hrms — software pipelining with Hypernode Reduction Modulo Scheduling
 USAGE:
     hrms schedule <FILE|->...  [--scheduler <slugs>|all] [--machine <presets|files>]
                                [--emit kernel|json|dot] [--timing] [--workers N]
-                               [--certify]
+                               [--certify] [--feedback]
     hrms lint     <FILE|->...  [--machine <preset|file>] [--format text|json]
     hrms convert  <FILE|->...  --to loop|dot
     hrms machine  <preset|file>
@@ -83,7 +83,9 @@ govindarajan) — each loop is analysed once and scheduled on every
 machine. `lint` also accepts
 `.machine` inputs (auto-detected) and exits 1 when it finds anything
 (docs/DIAGNOSTICS.md); `--certify` re-checks every produced schedule with
-the independent certifier from hrms-verify. `serve` runs the batch
+the independent certifier from hrms-verify; `--feedback` wraps every
+selected scheduler in the feedback-guided iterative rescheduler (the
+`feedback:<slug>` scheduler prefix does the same for one slug). `serve` runs the batch
 scheduling service: JSON-lines requests on stdin (or a Unix socket),
 results streamed back in input order with a content-addressed cache
 (docs/SERVICE.md).
@@ -165,6 +167,7 @@ fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
     let mut timing = false;
     let mut workers: Option<usize> = None;
     let mut do_certify = false;
+    let mut feedback = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -172,6 +175,7 @@ fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
             "--scheduler" => scheduler_arg = flag_value(&mut it, "--scheduler")?.to_string(),
             "--machine" => machine_arg = flag_value(&mut it, "--machine")?.to_string(),
             "--certify" => do_certify = true,
+            "--feedback" => feedback = true,
             "--emit" => {
                 emit = match flag_value(&mut it, "--emit")? {
                     "kernel" => Emit::Kernel,
@@ -228,6 +232,14 @@ fn cmd_schedule(args: &[String], stdin: &str) -> Result<String, CliError> {
                 })
             })
             .collect::<Result<_, _>>()?
+    };
+    let schedulers: Vec<BoxedScheduler> = if feedback {
+        schedulers
+            .into_iter()
+            .map(|s| wrap_feedback(s, FeedbackConfig::default()))
+            .collect()
+    } else {
+        schedulers
     };
     let scheduler_refs: Vec<&(dyn ModuloScheduler + Sync)> = schedulers
         .iter()
@@ -786,6 +798,43 @@ mod tests {
             .find(|l| l.contains("\"checks\":"))
             .expect("certificate line");
         assert!(cert_line.contains("\"passed\":true"));
+    }
+
+    #[test]
+    fn schedule_feedback_flag_wraps_every_scheduler() {
+        let input = "loop l\nnode a load latency=1\nnode b fadd latency=1\nedge a -> b flow\nend\n";
+        let out = run(
+            &args(&["schedule", "-", "--feedback", "--emit", "json"]),
+            input,
+        )
+        .unwrap();
+        assert!(
+            out.contains("\"scheduler\":\"HRMS+feedback[r32,i6,s16]\""),
+            "{out}"
+        );
+        assert!(out.contains("\"feedback\":{"), "{out}");
+        assert!(out.contains("\"converged\":true"), "{out}");
+    }
+
+    #[test]
+    fn schedule_accepts_the_feedback_slug_prefix() {
+        let input = "loop l\nnode a load latency=1\nend\n";
+        let out = run(
+            &args(&[
+                "schedule",
+                "-",
+                "--scheduler",
+                "feedback:top-down",
+                "--emit",
+                "json",
+            ]),
+            input,
+        )
+        .unwrap();
+        assert!(
+            out.contains("\"scheduler\":\"Top-Down+feedback[r32,i6,s16]\""),
+            "{out}"
+        );
     }
 
     #[test]

@@ -7,6 +7,6 @@
 //! stable path the CLI and its tests use.
 
 pub use hrms_serve::registry::{
-    all_schedulers, resolve_machine, scheduler_by_slug, BoxedScheduler, MachineError, MachineFiles,
-    SCHEDULER_SLUGS,
+    all_schedulers, feedback_scheduler, resolve_machine, scheduler_by_slug, wrap_feedback,
+    BoxedScheduler, MachineError, MachineFiles, SCHEDULER_SLUGS,
 };

@@ -343,6 +343,73 @@ fn stats_requests_expose_the_service_counters() {
 }
 
 #[test]
+fn feedback_chaos_degrades_to_cell_errors_and_the_connection_survives() {
+    // `"feedback": true` around the hidden always-panicking scheduler: the
+    // panic unwinds through the iterative rescheduler and is contained at
+    // the engine's cell boundary as a structured error record — and the
+    // very same connection keeps answering requests afterwards.
+    let mut service = Service::default();
+    let input = format!(
+        "{{\"req\":\"schedule\",\"id\":\"fb-boom\",\"scheduler\":\"chaos\",\
+         \"feedback\":true,\"loops\":[{}]}}\n\
+         {{\"req\":\"stats\",\"id\":\"after\"}}\n",
+        quoted(&loop_text("v1"))
+    );
+    let (out, shutdown) = service.process(&input);
+    assert!(!shutdown);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3, "1 cell error + done + stats:\n{out}");
+    let cell = fields(lines[0]);
+    assert_eq!(str_field(&cell, "type"), "error");
+    assert_eq!(str_field(&cell, "stage"), "schedule");
+    let msg = str_field(&cell, "error");
+    assert!(msg.contains("Chaos+feedback[r32,i6,s16]"), "{msg}");
+    assert!(msg.contains("chaos scheduler always panics"), "{msg}");
+    let done = fields(lines[1]);
+    assert_eq!(num_field(&done, "errors"), 1);
+    let stats = fields(lines[2]);
+    assert_eq!(str_field(&stats, "type"), "stats");
+    assert_eq!(num_field(&stats, "errors"), 1);
+    // Errors are never cached, feedback or not.
+    assert_eq!(service.cache_stats().entries, 0);
+}
+
+#[test]
+fn feedback_traces_replay_byte_stable_across_cache_miss_and_hit() {
+    let mut service = Service::default();
+    let l = loop_text("fb");
+    // Warm the cache with the one-shot result first: the feedback request
+    // must NOT be served from it — the wrapped scheduler's name (and hence
+    // the content-addressed key) embeds the feedback configuration.
+    service.process(&schedule_request("1", std::slice::from_ref(&l)));
+    let fb = format!(
+        "{{\"req\":\"schedule\",\"id\":2,\
+         \"feedback\":{{\"registers\":8,\"iterations\":4}},\"loops\":[{}]}}\n",
+        quoted(&l)
+    );
+    let (first, _) = service.process(&fb);
+    let stats = service.cache_stats();
+    assert_eq!(
+        stats.misses, 2,
+        "the feedback config is part of the cache key"
+    );
+    let v = fields(first.lines().next().unwrap());
+    assert_eq!(str_field(&v, "type"), "result");
+    assert_eq!(str_field(&v, "scheduler"), "HRMS+feedback[r8,i4,s16]");
+    assert!(
+        first.contains("\"feedback\":{\"selected\":"),
+        "trace embedded in the report: {first}"
+    );
+    assert!(first.contains("\"perturbation\":\"baseline\""), "{first}");
+
+    // Replay: the cache hit streams byte-identical records, trace included.
+    let (again, _) = service.process(&fb);
+    assert_eq!(first, again, "cached feedback replay is byte-identical");
+    assert_eq!(service.cache_stats().hits, 1);
+    assert_eq!(service.cache_stats().misses, 2);
+}
+
+#[test]
 fn multi_machine_requests_stream_loop_major_cells() {
     let mut service = Service::default();
     let entries: Vec<String> = [loop_text("alpha"), loop_text("beta")]
